@@ -1,0 +1,203 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// strategic leg order, load-balance adjustment, the paper's model
+// refinement, and implicit (hash-membership) versus explicit path
+// sets. Each reports its figure of merit as a custom metric, so
+// `go test -bench Ablation` doubles as the ablation study's results
+// table.
+package tugal_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tugal"
+	"tugal/internal/core"
+	"tugal/internal/flow"
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/routing"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func ablationWindows() sweep.Windows {
+	return sweep.Windows{Warmup: 2000, Measure: 1500, Drain: 3000}
+}
+
+// satOf measures UGAL-L saturation throughput under a policy on
+// adversarial shift(2,0) traffic, dfly(4,8,4,9).
+func satOf(t *topo.Topology, pol paths.Policy) float64 {
+	cfg := netsim.DefaultConfig()
+	rf := routing.NewUGALL(t, pol)
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})
+	return sweep.Saturation(t, cfg, rf, pf, ablationWindows(), 1, 0.02)
+}
+
+// BenchmarkAblationStrategicLegOrder compares the two deterministic
+// Step-2 expansions against a random 50% 5-hop subset: the paper
+// selects 2+3 for dfly(4,8,4,9); 3+2 concentrates first-leg traffic
+// differently and loses.
+func BenchmarkAblationStrategicLegOrder(b *testing.B) {
+	if testing.Short() {
+		b.Skip("saturation searches")
+	}
+	t := topo.MustNew(4, 8, 4, 9)
+	for i := 0; i < b.N; i++ {
+		s23 := satOf(t, paths.Strategic{T: t, FirstLeg: 2})
+		s32 := satOf(t, paths.Strategic{T: t, FirstLeg: 3})
+		rnd := satOf(t, paths.LengthCapped{T: t, MaxHops: 4, Frac: 0.5, Seed: 7})
+		b.ReportMetric(s23, "sat:strategic2+3")
+		b.ReportMetric(s32, "sat:strategic3+2")
+		b.ReportMetric(rnd, "sat:random50pct5hop")
+	}
+}
+
+// BenchmarkAblationLoadBalance measures the effect of Algorithm 1's
+// load-balance path removal on the strategic candidate.
+func BenchmarkAblationLoadBalance(b *testing.B) {
+	if testing.Short() {
+		b.Skip("saturation searches")
+	}
+	t := topo.MustNew(4, 8, 4, 9)
+	base := paths.Strategic{T: t, FirstLeg: 2}
+	for i := 0; i < b.N; i++ {
+		lb := core.DefaultLBOptions()
+		lb.PairCap = 6000
+		adj, rep := core.Rebalance(t, base, lb)
+		before := satOf(t, base)
+		after := satOf(t, adj)
+		b.ReportMetric(before, "sat:unadjusted")
+		b.ReportMetric(after, "sat:adjusted")
+		b.ReportMetric(float64(rep.LocalRemoved+rep.GlobalRemoved), "paths-removed")
+	}
+}
+
+// BenchmarkAblationModelRefinement contrasts the unconstrained
+// optimal-flow model (Garg-Könemann) with the behavioural model for a
+// partially restricted path set — the configuration class where the
+// paper observed the unconstrained model overestimating throughput,
+// motivating its dominance constraint.
+func BenchmarkAblationModelRefinement(b *testing.B) {
+	t := topo.MustNew(4, 8, 4, 9)
+	net := flow.NewNetwork(t)
+	pat := traffic.Shift{T: t, DG: 2, DS: 0}
+	demands := traffic.SwitchDemands(t, pat)
+	pol := paths.LengthCapped{T: t, MaxHops: 4, Frac: 0.2, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		loads := flow.ComputeLoads(net, pol, demands, flow.LoadOptions{Enumerate: true})
+		behav := flow.SolveSymmetric(loads)
+		ps := flow.BuildPathSets(net, pol, demands, 400, 1)
+		opt := ps.MaxConcurrentGK(0.08)
+		b.ReportMetric(behav.Alpha, "alpha:behavioural")
+		b.ReportMetric(opt, "alpha:optimal-flow")
+	}
+}
+
+// BenchmarkAblationImplicitVsExplicit verifies the hash-membership
+// representation reproduces the same saturation as an explicitly
+// materialized copy of the same subset, and compares their sampling
+// cost.
+func BenchmarkAblationImplicitVsExplicit(b *testing.B) {
+	t := topo.MustNew(4, 8, 4, 9)
+	implicit := paths.LengthCapped{T: t, MaxHops: 4, Frac: 0.5, Seed: 9}
+	r := rng.New(1)
+	s, d := 0, t.SwitchID(5, 3)
+	b.Run("implicit-sample", func(b *testing.B) {
+		var buf paths.Path
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !implicit.SampleVLBInto(r, s, d, &buf) {
+				b.Fatal("sample failed")
+			}
+		}
+	})
+	b.Run("enumerate-pair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if len(implicit.Enumerate(s, d)) == 0 {
+				b.Fatal("empty enumeration")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationThreshold sweeps the UGAL bias T: larger values
+// push traffic minimal, collapsing adversarial throughput toward pure
+// MIN — the reason the paper evaluates with T=0.
+func BenchmarkAblationThreshold(b *testing.B) {
+	if testing.Short() {
+		b.Skip("saturation searches")
+	}
+	t := topo.MustNew(4, 8, 4, 9)
+	cfg := netsim.DefaultConfig()
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})
+	for i := 0; i < b.N; i++ {
+		for _, thr := range []int{0, 50, 1 << 20} {
+			rf := routing.NewUGALL(t, paths.Full{T: t})
+			rf.Threshold = thr
+			sat := sweep.Saturation(t, cfg, rf, pf, ablationWindows(), 1, 0.02)
+			switch thr {
+			case 0:
+				b.ReportMetric(sat, "sat:T=0")
+			case 50:
+				b.ReportMetric(sat, "sat:T=50")
+			default:
+				b.ReportMetric(sat, "sat:T=inf(MIN)")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPacketSize verifies the paper's single-flit
+// simplification is harmless to its conclusions: with 4-flit
+// wormhole packets, T-UGAL-L still beats UGAL-L on adversarial
+// traffic (saturation in packets/cycle/node, so absolute values
+// shrink by ~4x versus single-flit).
+func BenchmarkAblationPacketSize(b *testing.B) {
+	if testing.Short() {
+		b.Skip("saturation searches")
+	}
+	t := topo.MustNew(4, 8, 4, 9)
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})
+	for i := 0; i < b.N; i++ {
+		for _, size := range []int{1, 4} {
+			cfg := netsim.DefaultConfig()
+			cfg.PacketSize = size
+			conv := sweep.Saturation(t, cfg, routing.NewUGALL(t, paths.Full{T: t}),
+				pf, ablationWindows(), 1, 0.01)
+			cust := sweep.Saturation(t, cfg, routing.NewUGALL(t, paths.Strategic{T: t, FirstLeg: 2}),
+				pf, ablationWindows(), 1, 0.01)
+			b.ReportMetric(conv, fmt.Sprintf("sat:UGAL-L/size%d", size))
+			b.ReportMetric(cust, fmt.Sprintf("sat:T-UGAL-L/size%d", size))
+		}
+	}
+}
+
+// BenchmarkPathEnumeration measures the path machinery itself.
+func BenchmarkPathEnumeration(b *testing.B) {
+	t := tugal.MustTopology(4, 8, 4, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(paths.EnumerateVLB(t, 0, t.SwitchID(5, 3))) == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+// BenchmarkModelSolve measures one behavioural-model solve on the
+// paper's small topology (the unit of Step 1's 31x(patterns) grid).
+func BenchmarkModelSolve(b *testing.B) {
+	t := topo.MustNew(4, 8, 4, 9)
+	net := flow.NewNetwork(t)
+	demands := traffic.SwitchDemands(t, traffic.Shift{T: t, DG: 2, DS: 0})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		loads := flow.ComputeLoads(net, paths.Full{T: t}, demands, flow.LoadOptions{Enumerate: true})
+		res := flow.SolveSymmetric(loads)
+		if res.Alpha <= 0 {
+			b.Fatal("zero alpha")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command dflyinfo prints the structural parameters of a Dragonfly
+// topology dfly(p,a,h,g) — the quantities of the paper's Table 2 —
+// plus path-diversity statistics for a sample switch pair.
+//
+// Usage:
+//
+//	dflyinfo -p 4 -a 8 -h 4 -g 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tugal/internal/paths"
+	"tugal/internal/topo"
+)
+
+func main() {
+	p := flag.Int("p", 4, "terminal links per switch")
+	a := flag.Int("a", 8, "switches per group")
+	h := flag.Int("h", 4, "global links per switch")
+	g := flag.Int("g", 9, "number of groups")
+	arrName := flag.String("arrangement", "absolute", "global link arrangement: absolute|relative")
+	flag.Parse()
+
+	arr := topo.Absolute
+	if *arrName == "relative" {
+		arr = topo.Relative
+	} else if *arrName != "absolute" {
+		fmt.Fprintln(os.Stderr, "dflyinfo: unknown arrangement", *arrName)
+		os.Exit(2)
+	}
+	t, err := topo.NewArranged(*p, *a, *h, *g, arr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dflyinfo:", err)
+		os.Exit(1)
+	}
+	if err := t.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "dflyinfo: validation failed:", err)
+		os.Exit(1)
+	}
+	row := t.Table2()
+	fmt.Printf("topology:              %s\n", row.Topology)
+	fmt.Printf("arrangement:           %s\n", t.Arr)
+	fmt.Printf("compute nodes (PEs):   %d\n", row.PEs)
+	fmt.Printf("switches:              %d\n", row.Switches)
+	fmt.Printf("groups:                %d\n", row.Groups)
+	fmt.Printf("links per group pair:  %d\n", row.LinksPerGroupPair)
+	fmt.Printf("switch radix:          %d\n", t.Radix())
+	fmt.Printf("global links per group:%d\n", t.GlobalLinksPerGroup())
+	fmt.Printf("balanced (a=2p=2h):    %v\n", t.Params.Balanced())
+
+	if t.NumSwitches() <= 2048 {
+		m := t.ComputeMetrics()
+		fmt.Printf("switch diameter:       %d\n", m.Diameter)
+		fmt.Printf("avg shortest path:     %.3f\n", m.AvgShortestPath)
+		fmt.Printf("group bisection links: %d\n", m.GroupBisectionLinks)
+	}
+
+	if t.G >= 3 {
+		s, d := 0, t.SwitchID(t.G/2, t.A/2)
+		hist := paths.CountVLBByHops(t, s, d)
+		minN := len(paths.EnumerateMin(t, s, d))
+		fmt.Printf("\npath diversity for switch pair (%d -> %d):\n", s, d)
+		fmt.Printf("  MIN paths:           %d\n", minN)
+		total := 0
+		for hops, c := range hist {
+			if c > 0 {
+				fmt.Printf("  %d-hop VLB paths:     %d\n", hops, c)
+				total += c
+			}
+		}
+		fmt.Printf("  total VLB paths:     %d\n", total)
+	}
+}

@@ -1,0 +1,142 @@
+// Command dflysim runs one cycle-level simulation: a topology, a
+// routing scheme (conventional or T-), a traffic pattern and an
+// offered load, reporting latency and accepted throughput.
+//
+// Usage examples:
+//
+//	dflysim -g 9 -routing ugal-l -pattern shift:2:0 -rate 0.2
+//	dflysim -g 9 -routing t-par -policy strategic:2 -pattern perm -rate 0.4
+//	dflysim -g 17 -routing ugal-l -pattern mixed:25 -rate 0.25 -sweep
+//	dflysim -g 9 -routing ugal-pb -pattern ring@group-rr -rate 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tugal/internal/netsim"
+	"tugal/internal/rng"
+	"tugal/internal/spec"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dflysim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	p := flag.Int("p", 4, "terminal links per switch")
+	a := flag.Int("a", 8, "switches per group")
+	h := flag.Int("h", 4, "global links per switch")
+	g := flag.Int("g", 9, "number of groups")
+	arrangement := flag.String("arrangement", "absolute", "absolute|relative")
+	rtName := flag.String("routing", "ugal-l", "min|vlb|ugal-l|ugal-g|ugal-pb|par|t-ugal-l|t-ugal-g|t-ugal-pb|t-par")
+	policy := flag.String("policy", "strategic:2", "T-VLB policy for t-* schemes (full|strategic[:leg]|capped:<hops>[:frac])")
+	pattern := flag.String("pattern", "ur", "traffic pattern (see internal/spec)")
+	rate := flag.Float64("rate", 0.1, "offered load, packets/cycle/node")
+	seed := flag.Uint64("seed", 1, "seed")
+	seeds := flag.Int("seeds", 1, "seeds to average")
+	warmup := flag.Int64("warmup", 30000, "warmup cycles")
+	measure := flag.Int64("measure", 10000, "measurement cycles")
+	drain := flag.Int64("drain", 20000, "drain cap, cycles")
+	vcs := flag.Int("vcs", 0, "virtual channels (0 = per-scheme default)")
+	buf := flag.Int("buffer", 32, "VC buffer depth")
+	localLat := flag.Int("local-latency", 10, "local channel latency")
+	globalLat := flag.Int("global-latency", 15, "global channel latency")
+	speedup := flag.Int("speedup", 2, "router internal speedup")
+	pktSize := flag.Int("packet", 1, "flits per packet (>1 enables wormhole)")
+	doSweep := flag.Bool("sweep", false, "sweep loads up to -rate and report the curve")
+	points := flag.Int("points", 8, "sweep points")
+	chanStats := flag.Bool("chanstats", false, "collect and print per-channel utilization")
+	flag.Parse()
+
+	arr, ok := map[string]topo.Arrangement{
+		"absolute": topo.Absolute, "relative": topo.Relative,
+	}[*arrangement]
+	if !ok {
+		fail("unknown arrangement %q", *arrangement)
+	}
+	t, err := topo.NewArranged(*p, *a, *h, *g, arr)
+	if err != nil {
+		fail("%v", err)
+	}
+	pol, err := spec.Policy(t, *policy, rng.Hash64(*seed, 0x90))
+	if err != nil {
+		fail("%v", err)
+	}
+	rf, defVCs, err := spec.Routing(t, *rtName, pol)
+	if err != nil {
+		fail("%v", err)
+	}
+	if _, err := spec.Pattern(t, *pattern, *seed); err != nil {
+		fail("%v", err)
+	}
+
+	cfg := netsim.Config{
+		NumVCs:           defVCs,
+		BufSize:          *buf,
+		LocalLatency:     *localLat,
+		GlobalLatency:    *globalLat,
+		SpeedUp:          *speedup,
+		LatencyCap:       500,
+		Seed:             *seed,
+		PacketSize:       *pktSize,
+		CollectChanStats: *chanStats,
+	}
+	if *vcs > 0 {
+		cfg.NumVCs = *vcs
+	}
+	w := sweep.Windows{Warmup: *warmup, Measure: *measure, Drain: *drain}
+	pf := func(s uint64) traffic.Pattern {
+		pt, perr := spec.Pattern(t, *pattern, s)
+		if perr != nil {
+			panic(perr)
+		}
+		return pt
+	}
+
+	fmt.Printf("%s (%s)  routing=%s  pattern=%s  vcs=%d buf=%d lat=%d/%d speedup=%d packet=%d\n",
+		t.Params, t.Arr, rf.Name(), *pattern, cfg.NumVCs, cfg.BufSize,
+		cfg.LocalLatency, cfg.GlobalLatency, cfg.SpeedUp, cfg.PacketSize)
+
+	if *doSweep {
+		rates := sweep.Rates(*rate, *points)
+		c := sweep.LatencyCurve(t, cfg, rf, pf, rates, w, *seeds)
+		fmt.Printf("%8s %10s %10s %8s %8s\n", "offered", "latency", "throughput", "vlb%", "sat")
+		for _, pt := range c.Points {
+			fmt.Printf("%8.3f %10.1f %10.3f %7.1f%% %8v\n",
+				pt.Offered, pt.Latency, pt.Throughput, 100*pt.VLBFraction, pt.Saturated)
+		}
+		fmt.Printf("saturation throughput: %.3f\n", c.SaturationThroughput())
+		return
+	}
+	if *chanStats {
+		// Channel statistics need a direct run (they are not
+		// aggregated across seeds).
+		n := netsim.New(t, cfg, rf, pf(*seed), *rate)
+		res := n.Run(*warmup, *measure, *drain)
+		fmt.Printf("offered:    %.4f packets/cycle/node\n", res.OfferedLoad)
+		fmt.Printf("latency:    %.1f cycles (p50 %.1f, p99 %.1f)\n",
+			res.AvgLatency, res.P50Latency, res.P99Latency)
+		fmt.Printf("throughput: %.4f packets/cycle/node\n", res.Throughput)
+		fmt.Printf("saturated:  %v\n", res.Saturated)
+		if cs := res.Channels; cs != nil {
+			fmt.Printf("local  channels: mean %.3f max %.3f (max/mean %.2f)\n",
+				cs.LocalMean, cs.LocalMax, cs.LocalMaxOverMean)
+			fmt.Printf("global channels: mean %.3f max %.3f (max/mean %.2f)\n",
+				cs.GlobalMean, cs.GlobalMax, cs.GlobalMaxOverMean)
+		}
+		return
+	}
+	pt := sweep.RunPoint(t, cfg, rf, pf, *rate, w, *seeds)
+	fmt.Printf("offered:    %.4f packets/cycle/node\n", pt.Offered)
+	fmt.Printf("latency:    %.1f ± %.1f cycles\n", pt.Latency, pt.LatencyErr)
+	fmt.Printf("throughput: %.4f packets/cycle/node\n", pt.Throughput)
+	fmt.Printf("VLB share:  %.1f%%\n", 100*pt.VLBFraction)
+	fmt.Printf("avg hops:   %.2f\n", pt.AvgHops)
+	fmt.Printf("saturated:  %v\n", pt.Saturated)
+}

@@ -1,0 +1,102 @@
+// Command experiment runs a JSON-defined suite of simulation sweeps
+// and writes results as JSON and aligned text.
+//
+// Usage:
+//
+//	experiment -suite suite.json [-o results.json]
+//	experiment -example              # print an example suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tugal/internal/spec"
+)
+
+const exampleSuite = `{
+  "experiments": [
+    {
+      "name": "adversarial-g9",
+      "topology": "4,8,4,9",
+      "pattern": "shift:2:0",
+      "routing": ["ugal-l", "t-ugal-l", "par", "t-par"],
+      "policy": "strategic:2",
+      "rates": [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35],
+      "seeds": 2,
+      "warmup": 10000, "measure": 5000, "drain": 10000
+    },
+    {
+      "name": "placed-ring-g9",
+      "topology": "4,8,4,9",
+      "pattern": "ring@group-rr",
+      "routing": ["ugal-l", "t-ugal-l"],
+      "policy": "strategic:2",
+      "rates": [0.1, 0.2, 0.3, 0.4]
+    }
+  ]
+}`
+
+func main() {
+	suitePath := flag.String("suite", "", "path to a JSON suite definition")
+	out := flag.String("o", "", "write results JSON to this file")
+	example := flag.Bool("example", false, "print an example suite and exit")
+	flag.Parse()
+
+	if *example {
+		fmt.Println(exampleSuite)
+		return
+	}
+	if *suitePath == "" {
+		fmt.Fprintln(os.Stderr, "experiment: -suite required (see -example)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+	suite, err := spec.LoadSuite(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiment:", err)
+		os.Exit(1)
+	}
+
+	var results []*spec.ExperimentResult
+	for i := range suite.Experiments {
+		e := &suite.Experiments[i]
+		fmt.Printf("== %s (%s, %s)\n", e.Name, e.Topology, e.Pattern)
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		for _, c := range res.Curves {
+			fmt.Printf("  %-12s sat=%.3f", c.Name, c.SaturationThroughput())
+			for _, p := range c.Points {
+				if p.Saturated {
+					fmt.Printf("  %0.2f:sat", p.Offered)
+				} else {
+					fmt.Printf("  %0.2f:%.1f", p.Offered, p.Latency)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+}

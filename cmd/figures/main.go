@@ -1,0 +1,163 @@
+// Command figures regenerates the datasets behind the paper's tables
+// and figures (Tables 1-3, Figures 4-18), printing aligned text
+// tables and optionally writing TSV files.
+//
+// Usage:
+//
+//	figures -list
+//	figures -exp fig6
+//	figures -exp all -scale paper -o out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tugal/internal/figures"
+	"tugal/internal/txtplot"
+)
+
+var plot = flag.Bool("plot", false, "render latency curves as ASCII charts")
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	list := flag.Bool("list", false, "list experiment ids")
+	scale := flag.String("scale", "demo", "demo|paper")
+	seed := flag.Uint64("seed", 1, "master seed")
+	seeds := flag.Int("seeds", 1, "simulation seeds per point")
+	outDir := flag.String("o", "", "directory for TSV output (optional)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range figures.All() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "figures: -exp required (or -list)")
+		os.Exit(2)
+	}
+	opt := figures.Options{Scale: figures.ScaleDemo, Seed: *seed, Seeds: *seeds}
+	switch *scale {
+	case "demo":
+	case "paper":
+		opt.Scale = figures.ScalePaper
+	default:
+		fmt.Fprintln(os.Stderr, "figures: -scale must be demo or paper")
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = figures.All()
+	}
+	for _, id := range ids {
+		res, err := figures.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		printResult(res)
+		if *outDir != "" {
+			if err := writeTSV(*outDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func printResult(res *figures.Result) {
+	fmt.Printf("== %s — %s\n", res.ID, res.Title)
+	if *plot && len(res.Series) > 0 {
+		var ss []txtplot.Series
+		for _, s := range res.Series {
+			ts := txtplot.Series{Name: s.Name}
+			for _, p := range s.Points {
+				ts.X = append(ts.X, p.Offered)
+				ts.Y = append(ts.Y, p.Latency)
+			}
+			ss = append(ss, ts)
+		}
+		fmt.Print(txtplot.Render(ss, txtplot.Options{
+			Width: 64, Height: 16, YCap: 600,
+			XLabel: "offered load (pkt/cycle/node)", YLabel: "avg latency (cycles)",
+		}))
+	}
+	if len(res.Series) > 0 {
+		fmt.Printf("%10s", "offered")
+		for _, s := range res.Series {
+			fmt.Printf(" %16s", s.Name)
+		}
+		fmt.Println()
+		if len(res.Series[0].Points) > 0 {
+			for i := range res.Series[0].Points {
+				fmt.Printf("%10.3f", res.Series[0].Points[i].Offered)
+				for _, s := range res.Series {
+					if i < len(s.Points) {
+						fmt.Printf(" %16.1f", s.Points[i].Latency)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+	if len(res.Rows) > 0 {
+		widths := make([]int, len(res.Header))
+		for i, h := range res.Header {
+			widths[i] = len(h)
+		}
+		for _, row := range res.Rows {
+			for i, c := range row {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+			fmt.Println("  " + strings.Join(parts, "  "))
+		}
+		line(res.Header)
+		for _, row := range res.Rows {
+			line(row)
+		}
+	}
+	fmt.Println()
+}
+
+func writeTSV(dir string, res *figures.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if len(res.Series) > 0 {
+		b.WriteString("offered")
+		for _, s := range res.Series {
+			fmt.Fprintf(&b, "\t%s.latency\t%s.throughput", s.Name, s.Name)
+		}
+		b.WriteByte('\n')
+		for i := range res.Series[0].Points {
+			fmt.Fprintf(&b, "%.4f", res.Series[0].Points[i].Offered)
+			for _, s := range res.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, "\t%.2f\t%.4f", s.Points[i].Latency, s.Points[i].Throughput)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	} else {
+		b.WriteString(strings.Join(res.Header, "\t") + "\n")
+		for _, row := range res.Rows {
+			b.WriteString(strings.Join(row, "\t") + "\n")
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, res.ID+".tsv"), []byte(b.String()), 0o644)
+}

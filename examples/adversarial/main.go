@@ -1,0 +1,67 @@
+// Adversarial: reproduce the shape of the paper's Figure 6 — latency
+// versus offered load for UGAL-L, T-UGAL-L, PAR and T-PAR under the
+// adversarial shift(2,0) pattern on dfly(4,8,4,9). T- variants keep
+// lower latency before saturation and saturate at a higher load.
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"tugal"
+)
+
+func main() {
+	t := tugal.MustTopology(4, 8, 4, 9)
+	pattern := tugal.Shift(t, 2, 0)
+	tvlb := tugal.StrategicVLB(t, 2) // the paper's Algorithm-1 outcome
+	rates := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35}
+	windows := tugal.SweepWindows{Warmup: 4000, Measure: 2500, Drain: 5000}
+
+	type entry struct {
+		rf  tugal.RoutingFunc
+		vcs int
+	}
+	schemes := []entry{
+		{tugal.NewUGALL(t, tugal.FullVLB(t)), 4},
+		{withLabel(tugal.NewUGALL(t, tvlb), "T-UGAL-L"), 4},
+		{tugal.NewPAR(t, tugal.FullVLB(t)), 5},
+		{withLabel(tugal.NewPAR(t, tvlb), "T-PAR"), 5},
+	}
+
+	fmt.Printf("%8s", "offered")
+	for _, s := range schemes {
+		fmt.Printf(" %10s", s.rf.Name())
+	}
+	fmt.Println("   (average packet latency, cycles)")
+
+	curves := make([]tugal.SweepCurve, len(schemes))
+	for i, s := range schemes {
+		cfg := tugal.DefaultSimConfig()
+		cfg.NumVCs = s.vcs
+		curves[i] = tugal.LatencyCurve(t, cfg, s.rf, pattern, rates, windows, 1)
+	}
+	for pi, rate := range rates {
+		fmt.Printf("%8.2f", rate)
+		for i := range schemes {
+			lat := curves[i].Points[pi].Latency
+			if math.IsInf(lat, 1) {
+				fmt.Printf(" %10s", "sat")
+			} else {
+				fmt.Printf(" %10.1f", lat)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nsaturation throughput:")
+	for i, s := range schemes {
+		fmt.Printf("  %-10s %.2f\n", s.rf.Name(), curves[i].SaturationThroughput())
+	}
+}
+
+func withLabel(u *tugal.UGAL, label string) *tugal.UGAL {
+	u.Label = label
+	return u
+}

@@ -1,0 +1,47 @@
+// Placement: how the job scheduler's rank-to-node mapping changes
+// what the network sees — and whether T-UGAL still helps. A ring
+// (halo) exchange placed linearly is nearly free (mostly intra-group
+// MIN traffic); dealt round-robin over groups it becomes a
+// group-level shift, Dragonfly's adversarial case, where the
+// topology-custom path set pays off.
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+
+	"tugal"
+	"tugal/internal/placement"
+	"tugal/internal/sweep"
+)
+
+func main() {
+	t := tugal.MustTopology(4, 8, 4, 9)
+	n := t.NumNodes()
+	cfg := tugal.DefaultSimConfig()
+	w := tugal.SweepWindows{Warmup: 3000, Measure: 2000, Drain: 4000}
+	tvlb := tugal.StrategicVLB(t, 2)
+
+	fmt.Printf("ring exchange on %s under different placements\n\n", t.Params)
+	fmt.Printf("%-12s %-10s %20s\n", "placement", "routing", "saturation throughput")
+
+	for _, strat := range []placement.Strategy{placement.Linear, placement.GroupRoundRobin} {
+		place, err := placement.Map(t, n, strat, 1)
+		if err != nil {
+			panic(err)
+		}
+		pat := placement.NewPlaced(t, placement.RingExchange{}, place, strat.String())
+		for _, rf := range []tugal.RoutingFunc{
+			tugal.NewUGALL(t, tugal.FullVLB(t)),
+			tugal.NewUGALL(t, tvlb),
+		} {
+			sat := sweep.Saturation(t, cfg, rf, sweep.Fixed(pat), w, 1, 0.02)
+			fmt.Printf("%-12s %-10s %20.3f\n", strat, rf.Name(), sat)
+		}
+	}
+	fmt.Println("\nreading: linear placement keeps the ring intra-group (MIN carries it")
+	fmt.Println("at full rate), so path customization is moot; round-robin placement")
+	fmt.Println("turns the same application into inter-group shift traffic, where")
+	fmt.Println("T-UGAL-L's shorter VLB paths raise the saturation point.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: build a Dragonfly, compute its topology-custom VLB
+// path set with Algorithm 1, and compare conventional UGAL-L against
+// T-UGAL-L on an adversarial traffic pattern.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"tugal"
+)
+
+func main() {
+	// The paper's small topology: 9 groups, 4 parallel global links
+	// between each pair of groups, 288 compute nodes.
+	t := tugal.MustTopology(4, 8, 4, 9)
+	fmt.Printf("topology %s: %d nodes, %d switches, %d links per group pair\n\n",
+		t.Params, t.NumNodes(), t.NumSwitches(), t.K)
+
+	// Run Algorithm 1 (quick settings: a couple of minutes).
+	fmt.Println("computing T-VLB with Algorithm 1 (quick settings)...")
+	res, err := tugal.ComputeTVLB(t, tugal.QuickTVLBOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("selected T-VLB: %s\n\n", res.FinalName())
+
+	// Compare UGAL-L and T-UGAL-L at one load on adversarial
+	// shift(2,0) traffic.
+	cfg := tugal.DefaultSimConfig()
+	pattern := tugal.Shift(t, 2, 0)
+	const load = 0.2
+	for _, rf := range []tugal.RoutingFunc{
+		tugal.NewUGALL(t, tugal.FullVLB(t)), // conventional
+		tugal.NewUGALL(t, res.Final),        // topology-custom
+	} {
+		sim := tugal.NewSimulation(t, cfg, rf, pattern, load)
+		r := sim.Run(5000, 3000, 6000)
+		fmt.Printf("%-10s load=%.2f  latency=%6.1f cycles  throughput=%.3f  vlb=%4.1f%%\n",
+			rf.Name(), load, r.AvgLatency, r.Throughput, 100*r.VLBFraction)
+	}
+}

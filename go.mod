@@ -1,0 +1,3 @@
+module tugal
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package analytic provides closed-form performance estimates for
+// Dragonfly routing — zero-load latency and an M/D/1-based queueing
+// approximation of the latency curve. They serve two purposes: quick
+// what-if exploration without simulation, and validation anchors for
+// the cycle-level simulator (the simulator's zero-load latency must
+// match the analytic value; see the cross-validation tests).
+package analytic
+
+import (
+	"math"
+
+	"tugal/internal/flow"
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// HopProfile is the expected channel composition of a route class.
+type HopProfile struct {
+	LocalHops  float64
+	GlobalHops float64
+}
+
+// Latency returns the pipe latency of the profile under a config.
+func (h HopProfile) Latency(cfg netsim.Config) float64 {
+	return h.LocalHops*float64(cfg.LocalLatency) + h.GlobalHops*float64(cfg.GlobalLatency)
+}
+
+// MinProfile computes the demand-weighted expected MIN hop profile
+// for a deterministic pattern.
+func MinProfile(t *topo.Topology, pat traffic.Deterministic) HopProfile {
+	var prof HopProfile
+	total := 0.0
+	for _, d := range traffic.SwitchDemands(t, pat) {
+		ps := paths.EnumerateMin(t, int(d.Src), int(d.Dst))
+		w := d.Rate / float64(len(ps))
+		for _, p := range ps {
+			g := float64(paths.GlobalHops(t, p))
+			prof.GlobalHops += w * g
+			prof.LocalHops += w * (float64(p.Hops()) - g)
+		}
+		total += d.Rate
+	}
+	if total > 0 {
+		prof.LocalHops /= total
+		prof.GlobalHops /= total
+	}
+	return prof
+}
+
+// VLBProfile computes the candidate-weighted expected VLB hop profile
+// under a policy for a deterministic pattern.
+func VLBProfile(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic) HopProfile {
+	var prof HopProfile
+	total := 0.0
+	for _, d := range traffic.SwitchDemands(t, pat) {
+		ps := pol.Enumerate(int(d.Src), int(d.Dst))
+		if len(ps) == 0 {
+			continue
+		}
+		w := d.Rate / float64(len(ps))
+		for _, p := range ps {
+			g := float64(paths.GlobalHops(t, p))
+			prof.GlobalHops += w * g
+			prof.LocalHops += w * (float64(p.Hops()) - g)
+		}
+		total += d.Rate
+	}
+	if total > 0 {
+		prof.LocalHops /= total
+		prof.GlobalHops /= total
+	}
+	return prof
+}
+
+// ZeroLoad estimates the zero-load average packet latency for a UGAL
+// router that sends vlbShare of traffic non-minimally: the pipe
+// delays of the expected MIN/VLB profiles, blended.
+func ZeroLoad(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic,
+	cfg netsim.Config, vlbShare float64) float64 {
+	min := MinProfile(t, pat).Latency(cfg)
+	vlb := VLBProfile(t, pol, pat).Latency(cfg)
+	return (1-vlbShare)*min + vlbShare*vlb
+}
+
+// Curve approximates the latency-vs-load curve: at offered load
+// alpha (packets/cycle/node), each channel e carries utilization
+// rho_e from the behavioural flow model's load vectors; every hop
+// adds an M/D/1 waiting term rho/(2(1-rho)) service units on top of
+// the pipe latency. Returns +Inf beyond the model's saturation
+// point. The approximation ignores credit stalls and HoL blocking,
+// so it lower-bounds the simulator at moderate load — the
+// relationship the validation tests assert.
+type Curve struct {
+	t        *topo.Topology
+	cfg      netsim.Config
+	res      flow.Result
+	minProf  HopProfile
+	vlbProf  HopProfile
+	minLat   float64
+	vlbLat   float64
+	satSplit float64
+}
+
+// NewCurve builds the approximation for a pattern and policy.
+func NewCurve(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, cfg netsim.Config) *Curve {
+	net := flow.NewNetwork(t)
+	demands := traffic.SwitchDemands(t, pat)
+	dl := flow.ComputeLoads(net, pol, demands, flow.LoadOptions{Enumerate: true})
+	res := flow.SolveSymmetric(dl)
+	minP := MinProfile(t, pat)
+	vlbP := VLBProfile(t, pol, pat)
+	return &Curve{
+		t: t, cfg: cfg, res: res,
+		minProf: minP, vlbProf: vlbP,
+		minLat:   minP.Latency(cfg),
+		vlbLat:   vlbP.Latency(cfg),
+		satSplit: res.SplitMin,
+	}
+}
+
+// Saturation returns the modeled saturation throughput.
+func (c *Curve) Saturation() float64 { return c.res.Alpha }
+
+// split models UGAL's MIN share at a load: nearly all-MIN at zero
+// load, descending linearly to the model's saturation split.
+func (c *Curve) split(alpha float64) float64 {
+	frac := alpha / c.res.Alpha
+	return 1 - (1-c.satSplit)*frac
+}
+
+// Latency estimates average packet latency at offered load alpha.
+func (c *Curve) Latency(alpha float64) float64 {
+	if alpha >= c.res.Alpha {
+		return math.Inf(1)
+	}
+	x := c.split(alpha)
+	base := x*c.minLat + (1-x)*c.vlbLat
+	hops := x*(c.minProf.LocalHops+c.minProf.GlobalHops) +
+		(1-x)*(c.vlbProf.LocalHops+c.vlbProf.GlobalHops)
+	// M/D/1 waiting at the bottleneck-normalized utilization, per hop.
+	rho := alpha / c.res.Alpha
+	avgService := base / math.Max(hops, 1)
+	wait := rho / (2 * (1 - rho)) * avgService
+	return base + wait*hops
+}

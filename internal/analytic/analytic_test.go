@@ -1,0 +1,92 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/routing"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func TestMinProfileAdversarial(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	prof := MinProfile(tp, traffic.Shift{T: tp, DG: 2, DS: 0})
+	// Inter-group MIN: exactly one global hop, and most paths have
+	// both a source-side and destination-side local hop.
+	if math.Abs(prof.GlobalHops-1) > 1e-9 {
+		t.Fatalf("global hops %v want 1", prof.GlobalHops)
+	}
+	if prof.LocalHops < 1.5 || prof.LocalHops > 2 {
+		t.Fatalf("local hops %v", prof.LocalHops)
+	}
+}
+
+func TestVLBProfileShrinksUnderPolicy(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	pat := traffic.Shift{T: tp, DG: 2, DS: 0}
+	full := VLBProfile(tp, paths.Full{T: tp}, pat)
+	capped := VLBProfile(tp, paths.LengthCapped{T: tp, MaxHops: 4, Seed: 1}, pat)
+	if full.GlobalHops < 1.9 || full.GlobalHops > 2.01 {
+		t.Fatalf("full VLB global hops %v want ~2", full.GlobalHops)
+	}
+	if capped.LocalHops >= full.LocalHops {
+		t.Fatalf("capped local hops %v not below full %v — the T-UGAL saving",
+			capped.LocalHops, full.LocalHops)
+	}
+}
+
+// TestZeroLoadMatchesSimulator anchors the simulator: at 1% load the
+// measured latency must sit within the analytic zero-load estimate
+// plus a small queueing/serialization allowance.
+func TestZeroLoadMatchesSimulator(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	pat := traffic.Shift{T: tp, DG: 2, DS: 0}
+	cfg := netsim.DefaultConfig()
+	rf := routing.NewUGALL(tp, paths.Full{T: tp})
+	sim := netsim.New(tp, cfg, rf, pat, 0.01)
+	res := sim.Run(1000, 3000, 3000)
+	if res.Saturated {
+		t.Fatal("saturated at 1% load")
+	}
+	lo := ZeroLoad(tp, paths.Full{T: tp}, pat, cfg, 0) // all-MIN floor
+	hi := ZeroLoad(tp, paths.Full{T: tp}, pat, cfg, 1) // all-VLB ceiling
+	if res.AvgLatency < lo*0.95 {
+		t.Fatalf("simulated %v below analytic MIN floor %v", res.AvgLatency, lo)
+	}
+	if res.AvgLatency > hi*1.3 {
+		t.Fatalf("simulated %v above analytic VLB ceiling %v (+30%%)", res.AvgLatency, hi)
+	}
+}
+
+// TestCurveLowerBoundsSimulator: the M/D/1 curve must not exceed the
+// simulator's latency at moderate load, and must blow up at its
+// saturation point.
+func TestCurveLowerBoundsSimulator(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	pat := traffic.Shift{T: tp, DG: 2, DS: 0}
+	cfg := netsim.DefaultConfig()
+	c := NewCurve(tp, paths.Full{T: tp}, pat, cfg)
+	if sat := c.Saturation(); math.Abs(sat-0.5625) > 0.01 {
+		t.Fatalf("analytic saturation %v want ~0.5625", sat)
+	}
+	if !math.IsInf(c.Latency(c.Saturation()+0.01), 1) {
+		t.Fatal("no blow-up past saturation")
+	}
+	l1 := c.Latency(0.1)
+	l2 := c.Latency(0.3)
+	if l2 <= l1 {
+		t.Fatalf("analytic latency not increasing: %v then %v", l1, l2)
+	}
+	rf := routing.NewUGALL(tp, paths.Full{T: tp})
+	sim := netsim.New(tp, cfg, rf, pat, 0.1)
+	res := sim.Run(2000, 2000, 3000)
+	if res.Saturated {
+		t.Fatal("simulator saturated at 0.1")
+	}
+	if l1 > res.AvgLatency*1.15 {
+		t.Fatalf("analytic %v far above simulated %v at 0.1 load", l1, res.AvgLatency)
+	}
+}

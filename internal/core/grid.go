@@ -1,0 +1,74 @@
+// Package core implements the paper's contribution: Algorithm 1,
+// which computes the topology-custom candidate VLB path set (T-VLB)
+// for any dfly(p,a,h,g).
+//
+// Step 1 (coarse grain) probes the Table 1 grid of path-set
+// configurations with the throughput model of internal/flow over the
+// adversarial TYPE_1_SET and TYPE_2_SET patterns and keeps the
+// configurations in the vicinity of the best point. Step 2 expands
+// the candidates with deterministic strategic choices (all 5-hop
+// paths formed as 2-hop+3-hop MIN legs, and the mirror), checks and
+// adjusts local and global link-usage balance by removing paths, and
+// selects the final T-VLB by cycle-level simulation of TYPE_2
+// patterns. When the conventional all-VLB set wins — as on maximal
+// Dragonflies with one link per group pair — T-UGAL converges to
+// UGAL, matching the paper's g=33 finding.
+package core
+
+import (
+	"fmt"
+
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// DataPoint is one Table-1 configuration: all VLB paths of at most
+// MaxHops hops plus a fraction Frac of (MaxHops+1)-hop paths.
+type DataPoint struct {
+	MaxHops int
+	Frac    float64
+}
+
+// String renders the Table-1 label.
+func (d DataPoint) String() string {
+	if d.Frac == 0 {
+		if d.MaxHops >= paths.MaxVLBHops {
+			return "all VLB"
+		}
+		return fmt.Sprintf("%d-hop", d.MaxHops)
+	}
+	return fmt.Sprintf("%d%% %d-hop", int(d.Frac*100+0.5), d.MaxHops+1)
+}
+
+// IsAll reports whether the point is the unrestricted set.
+func (d DataPoint) IsAll() bool {
+	return d.MaxHops >= paths.MaxVLBHops
+}
+
+// Policy materializes the data point as a path policy.
+func (d DataPoint) Policy(t *topo.Topology, seed uint64) paths.Policy {
+	if d.IsAll() {
+		return paths.Full{T: t}
+	}
+	return paths.LengthCapped{
+		T:       t,
+		MaxHops: d.MaxHops,
+		Frac:    d.Frac,
+		Seed:    rng.Hash64(seed, uint64(d.MaxHops), uint64(d.Frac*1000)),
+	}
+}
+
+// ProbeGrid returns the paper's Table 1: "3-hop", "10% 4-hop" ...
+// "90% 4-hop", "4-hop", ... , "90% 6-hop", "all VLB" — 31 points.
+func ProbeGrid() []DataPoint {
+	var out []DataPoint
+	for maxHops := 3; maxHops <= 5; maxHops++ {
+		out = append(out, DataPoint{MaxHops: maxHops})
+		for f := 1; f <= 9; f++ {
+			out = append(out, DataPoint{MaxHops: maxHops, Frac: float64(f) / 10})
+		}
+	}
+	out = append(out, DataPoint{MaxHops: paths.MaxVLBHops})
+	return out
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"tugal/internal/flow"
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/routing"
+	"tugal/internal/stats"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// SimOptions configures Step 2's simulation-based final selection.
+type SimOptions struct {
+	// Config are the simulator parameters (Table 3 defaults).
+	Config netsim.Config
+	// Windows are the warmup/measure/drain lengths.
+	Windows sweep.Windows
+	// Patterns is the number of TYPE_2 patterns simulated (paper: 5).
+	Patterns int
+	// Seeds per pattern.
+	Seeds int
+	// Resolution of the saturation search.
+	Resolution float64
+}
+
+// Options configures Algorithm 1 end to end.
+type Options struct {
+	// Seed drives every random choice (path subsets, patterns).
+	Seed uint64
+	// Type2Model is the TYPE_2_SET size used by the model (paper: 20).
+	Type2Model int
+	// Type1Cap subsamples TYPE_1_SET when positive; 0 uses all
+	// (g-1)*a patterns. Large topologies need a cap.
+	Type1Cap int
+	// Model controls the Step-1 throughput model.
+	Model flow.ModelOptions
+	// Step1Repeats re-runs the coarse grain with fresh random path
+	// subsets and averages, the paper's optional guard against a bad
+	// random seed (§3.3.2). 0 or 1 means a single pass.
+	Step1Repeats int
+	// VicinityTol keeps Step-1 points within this relative distance
+	// of the best as Step-2 candidates.
+	VicinityTol float64
+	// VicinityMax caps the number of Step-2 candidates from Step 1.
+	VicinityMax int
+	// Strategic adds the deterministic 2+3 / 3+2 expansions when the
+	// vicinity touches the 5-hop region.
+	Strategic bool
+	// LB is the load-balance adjustment configuration.
+	LB LBOptions
+	// Sim configures Step 2 simulation.
+	Sim SimOptions
+}
+
+// DefaultOptions follows the paper's settings (20 TYPE_2 model
+// patterns, 5 simulated, full TYPE_1 set, measurement windows scaled
+// down one notch from the paper's 10000 cycles to keep a full
+// Algorithm-1 run tractable on a laptop).
+func DefaultOptions() Options {
+	return Options{
+		Seed:        1,
+		Type2Model:  20,
+		Model:       flow.DefaultModelOptions(),
+		VicinityTol: 0.03,
+		VicinityMax: 4,
+		Strategic:   true,
+		LB:          DefaultLBOptions(),
+		Sim: SimOptions{
+			Config:     netsim.DefaultConfig(),
+			Windows:    sweep.Windows{Warmup: 4000, Measure: 3000, Drain: 6000},
+			Patterns:   5,
+			Seeds:      1,
+			Resolution: 0.02,
+		},
+	}
+}
+
+// QuickOptions is a CI/benchmark-scale configuration.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Type2Model = 4
+	o.Type1Cap = 8
+	o.VicinityMax = 2
+	o.Sim.Windows = sweep.QuickWindows()
+	o.Sim.Patterns = 2
+	o.Sim.Resolution = 0.05
+	return o
+}
+
+// ProbePoint is one Step-1 measurement (a bar of Figure 4/5).
+type ProbePoint struct {
+	Point  DataPoint
+	Mean   float64
+	StdErr float64
+}
+
+// Candidate is one Step-2 configuration with its simulated score.
+type Candidate struct {
+	Name          string
+	Policy        paths.Policy
+	RemovedPaths  int
+	SimThroughput float64
+}
+
+// Result is the full Algorithm-1 output.
+type Result struct {
+	Topology topo.Params
+	// Curve is the Step-1 modeled-throughput grid (Figures 4 and 5).
+	Curve []ProbePoint
+	// Best is the Step-1 winner.
+	Best DataPoint
+	// Candidates are the Step-2 configurations with simulated
+	// saturation throughput (averaged over TYPE_2 patterns).
+	Candidates []Candidate
+	// BaselineThroughput is conventional UGAL's score under the same
+	// Step-2 simulation.
+	BaselineThroughput float64
+	// Final is the selected T-VLB policy. When ConvergedToUGAL is
+	// true it is the conventional full set: T-UGAL == UGAL for this
+	// topology.
+	Final           paths.Policy
+	ConvergedToUGAL bool
+}
+
+// modelPatterns builds the Step-1 pattern suite.
+func modelPatterns(t *topo.Topology, opt Options) []traffic.Deterministic {
+	pats := traffic.Type1Set(t)
+	if opt.Type1Cap > 0 && len(pats) > opt.Type1Cap {
+		r := rng.New(rng.Hash64(opt.Seed, 0x717e))
+		idx := r.Perm(len(pats))[:opt.Type1Cap]
+		sort.Ints(idx)
+		sub := make([]traffic.Deterministic, 0, opt.Type1Cap)
+		for _, i := range idx {
+			sub = append(sub, pats[i])
+		}
+		pats = sub
+	}
+	pats = append(pats, traffic.Type2Set(t, opt.Type2Model, rng.Hash64(opt.Seed, 0x72))...)
+	return pats
+}
+
+// Step1 probes the Table-1 grid with the throughput model and
+// returns the curve and the best point (Figures 4 and 5). With
+// Step1Repeats > 1 each point is re-probed with fresh random
+// subsets and the means are averaged — the paper's optional
+// randomization guard.
+func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
+	pats := modelPatterns(t, opt)
+	grid := ProbeGrid()
+	repeats := opt.Step1Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	curve := make([]ProbePoint, 0, len(grid))
+	best := grid[len(grid)-1]
+	bestMean := -1.0
+	for _, dp := range grid {
+		var mean, se float64
+		for rep := 0; rep < repeats; rep++ {
+			pol := dp.Policy(t, rng.Hash64(opt.Seed, uint64(rep)))
+			m, s, err := flow.AverageModeled(t, pol, pats, opt.Model)
+			if err != nil {
+				return nil, DataPoint{}, fmt.Errorf("core: step 1 at %v: %w", dp, err)
+			}
+			mean += m / float64(repeats)
+			se += s / float64(repeats)
+		}
+		curve = append(curve, ProbePoint{Point: dp, Mean: mean, StdErr: se})
+		if mean > bestMean {
+			bestMean, best = mean, dp
+		}
+	}
+	return curve, best, nil
+}
+
+// vicinity selects Step-2 candidate points around the best.
+func vicinity(curve []ProbePoint, best DataPoint, opt Options) []DataPoint {
+	bestMean := 0.0
+	for _, p := range curve {
+		if p.Point == best {
+			bestMean = p.Mean
+		}
+	}
+	type scored struct {
+		dp   DataPoint
+		mean float64
+	}
+	var near []scored
+	for _, p := range curve {
+		if p.Mean >= bestMean*(1-opt.VicinityTol) {
+			near = append(near, scored{p.Point, p.Mean})
+		}
+	}
+	// Prefer the highest-throughput points; break ties toward shorter
+	// path sets (the whole point of T-UGAL).
+	sort.SliceStable(near, func(i, j int) bool {
+		if near[i].mean != near[j].mean {
+			return near[i].mean > near[j].mean
+		}
+		if near[i].dp.MaxHops != near[j].dp.MaxHops {
+			return near[i].dp.MaxHops < near[j].dp.MaxHops
+		}
+		return near[i].dp.Frac < near[j].dp.Frac
+	})
+	if len(near) > opt.VicinityMax {
+		near = near[:opt.VicinityMax]
+	}
+	out := make([]DataPoint, 0, len(near))
+	for _, s := range near {
+		out = append(out, s.dp)
+	}
+	return out
+}
+
+// simulateScore runs the Step-2 simulation for one policy: average
+// saturation throughput over TYPE_2 patterns under the configured
+// UGAL variant (UGAL-L, as a practical deployable scheme).
+func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
+	var scores []float64
+	for i := 0; i < opt.Sim.Patterns; i++ {
+		patSeed := rng.Hash64(opt.Seed, 0x5e2, uint64(i))
+		pf := func(seed uint64) traffic.Pattern {
+			return traffic.NewGroupPermutation(t, rng.Hash64(patSeed, seed))
+		}
+		rf := routing.NewUGALL(t, pol)
+		sat := sweep.Saturation(t, opt.Sim.Config, rf, pf, opt.Sim.Windows,
+			opt.Sim.Seeds, opt.Sim.Resolution)
+		scores = append(scores, sat)
+	}
+	return stats.Mean(scores)
+}
+
+// ComputeTVLB runs Algorithm 1 for a topology.
+func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
+	res := &Result{Topology: t.Params}
+
+	// Step 1: coarse-grain estimation over the Table-1 grid.
+	curve, best, err := Step1(t, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Curve, res.Best = curve, best
+
+	// Candidate set: vicinity of the best point.
+	points := vicinity(curve, best, opt)
+
+	// Step 2 expansion: deterministic strategic choices whenever the
+	// candidates reach into the 5-hop region.
+	type cand struct {
+		name string
+		pol  paths.Policy
+	}
+	var cands []cand
+	seenAll := false
+	for _, dp := range points {
+		if dp.IsAll() {
+			seenAll = true
+			continue // the all-VLB baseline is always scored separately
+		}
+		cands = append(cands, cand{dp.String(), dp.Policy(t, opt.Seed)})
+	}
+	if opt.Strategic {
+		touches5 := false
+		for _, dp := range points {
+			if (dp.MaxHops == 4 && dp.Frac > 0) || dp.MaxHops == 5 || dp.IsAll() {
+				touches5 = true
+			}
+		}
+		if touches5 {
+			cands = append(cands,
+				cand{"strategic 2+3", paths.Strategic{T: t, FirstLeg: 2}},
+				cand{"strategic 3+2", paths.Strategic{T: t, FirstLeg: 3}},
+			)
+		}
+	}
+
+	// Load-balance adjustment, then simulate every candidate.
+	for _, c := range cands {
+		adj, rep := Rebalance(t, c.pol, opt.LB)
+		adj.Label = "T-VLB(" + c.name + ")"
+		score := simulateScore(t, adj, opt)
+		res.Candidates = append(res.Candidates, Candidate{
+			Name:          c.name,
+			Policy:        adj,
+			RemovedPaths:  rep.LocalRemoved + rep.GlobalRemoved,
+			SimThroughput: score,
+		})
+	}
+
+	// Conventional UGAL baseline under the identical simulation.
+	res.BaselineThroughput = simulateScore(t, paths.Full{T: t}, opt)
+
+	// Select the winner. A candidate matching the baseline wins the
+	// tie (the custom set is shorter at equal performance); the
+	// baseline wins only when it is strictly better than every
+	// candidate — then T-UGAL converges to UGAL, as on topologies
+	// with one link per group pair, where Step 1 already ranks the
+	// all-VLB point on top (seenAll).
+	_ = seenAll
+	bestScore := res.BaselineThroughput
+	res.Final = paths.Policy(paths.Full{T: t})
+	res.ConvergedToUGAL = true
+	for _, c := range res.Candidates {
+		if c.SimThroughput >= bestScore && c.SimThroughput > 0 {
+			bestScore = c.SimThroughput
+			res.Final = c.Policy
+			res.ConvergedToUGAL = false
+		}
+	}
+	return res, nil
+}
+
+// FinalName describes the chosen policy.
+func (r *Result) FinalName() string {
+	if r.ConvergedToUGAL {
+		return "all VLB (T-UGAL converges to UGAL)"
+	}
+	return r.Final.Name()
+}

@@ -1,0 +1,108 @@
+package figures
+
+import (
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := All()
+	want := []string{
+		"table1", "table2", "table3",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("order mismatch at %d: got %v", i, ids)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", DefaultOptions()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		res, err := Run(id, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 || len(res.Header) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+		if res.ID != id || res.Title == "" {
+			t.Fatalf("%s: metadata missing", id)
+		}
+	}
+	// Table 1 must list exactly 31 probe points; Table 2 the four
+	// paper topologies.
+	t1, _ := Run("table1", DefaultOptions())
+	if len(t1.Rows) != 31 {
+		t.Fatalf("table1 rows %d", len(t1.Rows))
+	}
+	t2, _ := Run("table2", DefaultOptions())
+	if len(t2.Rows) != 4 {
+		t.Fatalf("table2 rows %d", len(t2.Rows))
+	}
+	if t2.Rows[2][1] != "288" {
+		t.Fatalf("dfly(4,8,4,9) PEs = %s", t2.Rows[2][1])
+	}
+}
+
+func TestLatencyFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure")
+	}
+	opt := Options{Scale: ScaleBench, Seed: 1, Seeds: 1}
+	res, err := Run("fig7", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("fig7 series %d, want UGAL-G and T-UGAL-G", len(res.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Series {
+		names[s.Name] = true
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+	}
+	if !names["UGAL-G"] || !names["T-UGAL-G"] {
+		t.Fatalf("series names %v", names)
+	}
+}
+
+func TestSensitivityFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation figure")
+	}
+	opt := Options{Scale: ScaleBench, Seed: 1, Seeds: 1}
+	res, err := Run("fig18", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two VC schemes x (UGAL-G, T-UGAL-G) = 4 series.
+	if len(res.Series) != 4 {
+		t.Fatalf("fig18 series %d", len(res.Series))
+	}
+}
+
+func TestDemoRatesThinning(t *testing.T) {
+	full := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if got := demoRates(Options{Scale: ScalePaper}, full); len(got) != 5 {
+		t.Fatalf("paper rates %v", got)
+	}
+	if got := demoRates(Options{Scale: ScaleDemo}, full); len(got) != 3 {
+		t.Fatalf("demo rates %v", got)
+	}
+	if got := demoRates(Options{Scale: ScaleBench}, full); len(got) != 3 || got[2] != 0.5 {
+		t.Fatalf("bench rates %v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package figures
+
+import (
+	"tugal/internal/rng"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Figures 6-14: latency-vs-offered-load curves.
+
+func runFig6(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 9)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4})
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})
+	return latencyFigure(t, opt, pf, rates, false, "UGAL-L", "T-UGAL-L", "PAR", "T-PAR")
+}
+
+func runFig7(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 9)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})
+	return latencyFigure(t, opt, pf, rates, false, "UGAL-G", "T-UGAL-G")
+}
+
+func runFig8(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 9)
+	rates := demoRates(opt, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.65, 0.7, 0.75})
+	pf := func(seed uint64) traffic.Pattern { return traffic.NewPermutation(t, seed) }
+	return latencyFigure(t, opt, pf, rates, false, "UGAL-L", "T-UGAL-L", "PAR", "T-PAR")
+}
+
+func runFig9(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 9)
+	rates := demoRates(opt, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.65, 0.7})
+	pf := func(seed uint64) traffic.Pattern { return traffic.NewPermutation(t, seed) }
+	return latencyFigure(t, opt, pf, rates, false, "UGAL-G", "T-UGAL-G")
+}
+
+func mixedFactory(t *topo.Topology, urPct int) sweep.PatternFactory {
+	return func(seed uint64) traffic.Pattern {
+		return traffic.NewMixed(t, urPct, traffic.Shift{T: t, DG: 1, DS: 0}, rng.Hash64(seed, 0x311d))
+	}
+}
+
+func runFig10(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55})
+	return latencyFigure(t, opt, mixedFactory(t, 75), rates, false, "UGAL-L", "T-UGAL-L", "PAR", "T-PAR")
+}
+
+func runFig11(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})
+	return latencyFigure(t, opt, mixedFactory(t, 25), rates, false, "UGAL-L", "T-UGAL-L", "PAR", "T-PAR")
+}
+
+func runFig12(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.2, 0.3, 0.35, 0.4, 0.45})
+	pf := func(uint64) traffic.Pattern {
+		return traffic.NewTimeMixed(t, 50, traffic.Shift{T: t, DG: 1, DS: 0})
+	}
+	return latencyFigure(t, opt, pf, rates, false, "UGAL-L", "T-UGAL-L", "PAR", "T-PAR")
+}
+
+func runFig13(opt Options) (*Result, error) {
+	t := topo.MustNew(13, 26, 13, 27)
+	rates := largeRates(opt)
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 1, DS: 0})
+	return latencyFigure(t, opt, pf, rates, true,
+		"UGAL-L", "T-UGAL-L", "PAR", "T-PAR", "UGAL-G", "T-UGAL-G")
+}
+
+// largeRates picks the load grid for the dfly(13,26,13,27) figures.
+func largeRates(opt Options) []float64 {
+	switch opt.Scale {
+	case ScalePaper:
+		return []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	case ScaleBench:
+		return []float64{0.1, 0.4}
+	default:
+		return []float64{0.1, 0.3, 0.5}
+	}
+}
+
+func runFig14(opt Options) (*Result, error) {
+	t := topo.MustNew(13, 26, 13, 27)
+	return latencyFigure(t, opt, mixedFactory(t, 50), largeRates(opt), true,
+		"UGAL-L", "T-UGAL-L", "PAR", "T-PAR", "UGAL-G", "T-UGAL-G")
+}

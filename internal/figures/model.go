@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"fmt"
+
+	"tugal/internal/core"
+	"tugal/internal/netsim"
+	"tugal/internal/topo"
+)
+
+// runTable1 lists the Table-1 probe grid.
+func runTable1(Options) (*Result, error) {
+	res := &Result{Header: []string{"data point", "explanation"}}
+	for _, dp := range core.ProbeGrid() {
+		expl := ""
+		switch {
+		case dp.IsAll():
+			expl = "all VLB paths"
+		case dp.Frac == 0:
+			expl = fmt.Sprintf("all paths %d-hop or less", dp.MaxHops)
+		default:
+			expl = fmt.Sprintf("all paths %d-hop or less plus %d%% %d-hop paths",
+				dp.MaxHops, int(dp.Frac*100+0.5), dp.MaxHops+1)
+		}
+		res.Rows = append(res.Rows, []string{dp.String(), expl})
+	}
+	return res, nil
+}
+
+// runTable2 prints the four topologies' parameters.
+func runTable2(Options) (*Result, error) {
+	res := &Result{Header: []string{"Topology", "No. of PEs", "No. of switches", "No. of groups", "links per group pair"}}
+	for _, c := range [][4]int{{4, 8, 4, 33}, {4, 8, 4, 17}, {4, 8, 4, 9}, {13, 26, 13, 27}} {
+		t, err := topo.New(c[0], c[1], c[2], c[3])
+		if err != nil {
+			return nil, err
+		}
+		row := t.Table2()
+		res.Rows = append(res.Rows, []string{
+			row.Topology,
+			fmt.Sprint(row.PEs),
+			fmt.Sprint(row.Switches),
+			fmt.Sprint(row.Groups),
+			fmt.Sprint(row.LinksPerGroupPair),
+		})
+	}
+	return res, nil
+}
+
+// runTable3 dumps the default simulator parameters.
+func runTable3(Options) (*Result, error) {
+	cfg := netsim.DefaultConfig()
+	res := &Result{Header: []string{"Parameter", "value"}}
+	res.Rows = [][]string{
+		{"# of virtual channels", fmt.Sprintf("%d for UGAL-L and UGAL-G, 5 for PAR", cfg.NumVCs)},
+		{"buffer size", fmt.Sprint(cfg.BufSize)},
+		{"link latency", fmt.Sprintf("%d cycles (local), %d cycles (global)", cfg.LocalLatency, cfg.GlobalLatency)},
+		{"switch speed-up", fmt.Sprint(cfg.SpeedUp)},
+		{"saturation latency", fmt.Sprintf("%.0f cycles", cfg.LatencyCap)},
+	}
+	return res, nil
+}
+
+// stepOneCurve runs the Step-1 grid for a topology (Figures 4, 5).
+func stepOneCurve(t *topo.Topology, opt Options) (*Result, error) {
+	copt := core.DefaultOptions()
+	copt.Seed = opt.Seed
+	switch opt.Scale {
+	case ScaleDemo:
+		copt.Type2Model = 4
+		copt.Type1Cap = 8
+	case ScaleBench:
+		copt.Type2Model = 2
+		copt.Type1Cap = 4
+	}
+	curve, best, err := core.Step1(t, copt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Header: []string{"data point", "modeled throughput", "stderr", "best"}}
+	for _, p := range curve {
+		mark := ""
+		if p.Point == best {
+			mark = "*"
+		}
+		res.Rows = append(res.Rows, []string{
+			p.Point.String(),
+			fmt.Sprintf("%.4f", p.Mean),
+			fmt.Sprintf("%.4f", p.StdErr),
+			mark,
+		})
+	}
+	return res, nil
+}
+
+func runFig4(opt Options) (*Result, error) {
+	return stepOneCurve(topo.MustNew(4, 8, 4, 9), opt)
+}
+
+func runFig5(opt Options) (*Result, error) {
+	return stepOneCurve(topo.MustNew(4, 8, 4, 33), opt)
+}

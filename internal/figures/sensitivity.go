@@ -1,0 +1,112 @@
+package figures
+
+import (
+	"fmt"
+
+	"tugal/internal/netsim"
+	"tugal/internal/routing"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Figures 15-18: sensitivity to network parameters. Each figure
+// varies one parameter with all others at the Table-3 defaults and
+// reports a conventional scheme against its T- counterpart. The
+// paper's common observation — the T- variant consistently
+// outperforms its counterpart under every parameter setting — is the
+// property these experiments exhibit.
+
+// variant is one parameterization of a (scheme, T-scheme) pair.
+type variant struct {
+	suffix string
+	cfg    netsim.Config
+	scheme routing.VCScheme
+}
+
+// sensitivityFigure runs conventional+T of one mode across variants.
+func sensitivityFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
+	rates []float64, mode string, variants []variant) (*Result, error) {
+	res := &Result{Header: []string{"scheme", "saturation-throughput", "latency@low-load"}}
+	w := opt.windows(false)
+	for _, v := range variants {
+		for _, name := range []string{mode, "T-" + mode} {
+			ss := mkSchemes(t, opt, name)
+			s := ss[0]
+			cfg := v.cfg
+			cfg.Seed = opt.Seed
+			if cfg.NumVCs == 0 {
+				cfg.NumVCs = s.vcs
+			}
+			if u, ok := s.rf.(*routing.UGAL); ok {
+				u.Scheme = v.scheme
+			}
+			c := sweep.LatencyCurve(t, cfg, s.rf, pf, rates, w, opt.Seeds)
+			label := fmt.Sprintf("%s(%s)", s.rf.Name(), v.suffix)
+			res.Series = append(res.Series, Series{Name: label, Points: c.Points})
+			res.Rows = append(res.Rows, []string{
+				label,
+				fmt.Sprintf("%.3f", c.SaturationThroughput()),
+				fmt.Sprintf("%.1f", c.Points[0].Latency),
+			})
+		}
+	}
+	return res, nil
+}
+
+// runFig15 varies link latency: the default (10,15) against a
+// (40,60) long-cable configuration, UGAL-G on random permutation.
+func runFig15(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7})
+	pf := func(seed uint64) traffic.Pattern { return traffic.NewPermutation(t, seed) }
+	base := netsim.DefaultConfig()
+	long := base
+	long.LocalLatency, long.GlobalLatency = 40, 60
+	return sensitivityFigure(t, opt, pf, rates, "UGAL-G", []variant{
+		{suffix: "10,15", cfg: base},
+		{suffix: "40,60", cfg: long},
+	})
+}
+
+// runFig16 varies buffer length {8, 32}, UGAL-L on MIXED(50,50).
+func runFig16(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.1, 0.2, 0.3, 0.35, 0.4, 0.45})
+	small := netsim.DefaultConfig()
+	small.BufSize = 8
+	big := netsim.DefaultConfig()
+	return sensitivityFigure(t, opt, mixedFactory(t, 50), rates, "UGAL-L", []variant{
+		{suffix: "8", cfg: small},
+		{suffix: "32", cfg: big},
+	})
+}
+
+// runFig17 varies router internal speedup {1, 2}, PAR on MIXED(25,75).
+func runFig17(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 17)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})
+	s1 := netsim.DefaultConfig()
+	s1.SpeedUp = 1
+	s2 := netsim.DefaultConfig()
+	return sensitivityFigure(t, opt, mixedFactory(t, 25), rates, "PAR", []variant{
+		{suffix: "1", cfg: s1},
+		{suffix: "2", cfg: s2},
+	})
+}
+
+// runFig18 varies the VC allocation scheme: the 4-VC phase scheme
+// against the 6-VC new-VC-every-hop scheme, UGAL-G on shift(1,0).
+func runFig18(opt Options) (*Result, error) {
+	t := topo.MustNew(4, 8, 4, 9)
+	rates := demoRates(opt, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})
+	pf := sweep.Fixed(traffic.Shift{T: t, DG: 1, DS: 0})
+	four := netsim.DefaultConfig()
+	four.NumVCs = 4
+	six := netsim.DefaultConfig()
+	six.NumVCs = 6
+	return sensitivityFigure(t, opt, pf, rates, "UGAL-G", []variant{
+		{suffix: "4", cfg: four, scheme: routing.PhaseVC},
+		{suffix: "6", cfg: six, scheme: routing.HopCountVC},
+	})
+}

@@ -1,0 +1,248 @@
+package flow
+
+import (
+	"math"
+	"sort"
+
+	"tugal/internal/lp"
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/traffic"
+)
+
+// PathSets is an explicit per-demand candidate path collection for
+// the unconstrained (optimal-flow) model: the model whose tendency to
+// "allocate higher data rate to some specific longer paths" the paper
+// corrected with its dominance constraint. We keep both the exact LP
+// (with and without the dominance refinement) and a Garg-Könemann /
+// Fleischer approximation that scales to large instances.
+type PathSets struct {
+	Net     *Network
+	Demands []traffic.Demand
+	// Edges[d][p] is the edge list of candidate path p of demand d.
+	Edges [][][]Edge
+	// hops[d][p] is the switch-hop count of that path; see HopsOf.
+	hops [][]int
+}
+
+// HopsOf returns the hop count of candidate p of demand d.
+func (ps *PathSets) HopsOf(d, p int) int { return ps.hops[d][p] }
+
+// NumPaths returns the candidate count of demand d.
+func (ps *PathSets) NumPaths(d int) int { return len(ps.Edges[d]) }
+
+// BuildPathSets enumerates MIN plus policy-VLB candidates per demand.
+// maxPerPair caps the list (0 = no cap) by uniform subsampling after
+// a length sort keeps the shortest paths — large topologies would
+// otherwise enumerate hundreds of thousands of paths per pair.
+func BuildPathSets(net *Network, pol paths.Policy, demands []traffic.Demand, maxPerPair int, seed uint64) *PathSets {
+	ps := &PathSets{
+		Net:     net,
+		Demands: demands,
+		Edges:   make([][][]Edge, len(demands)),
+		hops:    make([][]int, len(demands)),
+	}
+	r := rng.New(seed)
+	for i, d := range demands {
+		s, t := int(d.Src), int(d.Dst)
+		all := paths.EnumerateMin(net.T, s, t)
+		all = append(all, pol.Enumerate(s, t)...)
+		if maxPerPair > 0 && len(all) > maxPerPair {
+			// Keep all MIN and shortest VLB paths; subsample the rest.
+			sortByHops(all)
+			keep := all[:maxPerPair/2]
+			rest := all[maxPerPair/2:]
+			idx := r.Perm(len(rest))[:maxPerPair-len(keep)]
+			for _, j := range idx {
+				keep = append(keep, rest[j])
+			}
+			all = keep
+		}
+		ps.Edges[i] = make([][]Edge, len(all))
+		ps.hops[i] = make([]int, len(all))
+		for j, p := range all {
+			ps.Edges[i][j] = net.PathEdges(nil, p)
+			ps.hops[i][j] = p.Hops()
+		}
+	}
+	return ps
+}
+
+func sortByHops(all []paths.Path) {
+	// Insertion-stable sort by hop count.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].Hops() < all[j-1].Hops(); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}
+
+// MaxConcurrentGK approximates the maximum concurrent flow fraction
+// alpha over the explicit candidate sets using Fleischer's variant of
+// the Garg-Könemann framework with accuracy parameter eps (e.g.
+// 0.05). The returned alpha is a feasible (lower-bound) throughput
+// within roughly (1-3eps) of optimal.
+func (ps *PathSets) MaxConcurrentGK(eps float64) float64 {
+	if eps <= 0 || eps >= 0.5 {
+		panic("flow: GK eps must be in (0, 0.5)")
+	}
+	maxLen := 1
+	for _, dps := range ps.Edges {
+		for _, pe := range dps {
+			if len(pe) > maxLen {
+				maxLen = len(pe)
+			}
+		}
+	}
+	cap_ := ps.Net.Cap
+	delta := (1 + eps) * math.Pow((1+eps)*float64(maxLen), -1/eps)
+	length := make([]float64, ps.Net.NumEdges)
+	dual := 0.0 // D = sum c_e * l_e over initialized edges
+	used := make([]bool, ps.Net.NumEdges)
+	for _, dps := range ps.Edges {
+		for _, pe := range dps {
+			for _, e := range pe {
+				if !used[e] {
+					used[e] = true
+					length[e] = delta / cap_[e]
+					dual += delta
+				}
+			}
+		}
+	}
+	phases := 0
+	const maxPhases = 1 << 20
+	for dual < 1 && phases < maxPhases {
+		for d := range ps.Demands {
+			rem := ps.Demands[d].Rate
+			for rem > 1e-12 && dual < 1 {
+				// Shortest candidate under current lengths.
+				best, bestLen := -1, math.Inf(1)
+				for j, pe := range ps.Edges[d] {
+					l := 0.0
+					for _, e := range pe {
+						l += length[e]
+					}
+					if l < bestLen {
+						bestLen, best = l, j
+					}
+				}
+				if best < 0 {
+					break
+				}
+				pe := ps.Edges[d][best]
+				bottleneck := math.Inf(1)
+				for _, e := range pe {
+					if cap_[e] < bottleneck {
+						bottleneck = cap_[e]
+					}
+				}
+				f := math.Min(rem, bottleneck)
+				rem -= f
+				for _, e := range pe {
+					old := length[e]
+					length[e] = old * (1 + eps*f/cap_[e])
+					dual += cap_[e] * (length[e] - old)
+				}
+			}
+			if dual >= 1 {
+				break
+			}
+		}
+		phases++
+	}
+	if phases == 0 {
+		return 0
+	}
+	scale := math.Log((1+eps)/delta) / math.Log(1+eps)
+	return float64(phases) / scale
+}
+
+// MaxConcurrentLP solves the unconstrained optimal-flow LP exactly:
+// maximize alpha s.t. per-demand flows sum to alpha*rate and edge
+// capacities hold. With dominance=true it adds the paper's
+// refinement: for each demand, the rate on a longer path may not
+// exceed the rate on any shorter path (encoded with one boundary
+// variable per adjacent hop-count class pair). Exact simplex —
+// intended for small instances and validation.
+func (ps *PathSets) MaxConcurrentLP(dominance bool) (float64, error) {
+	// Variable layout: path flows (flattened), then alpha, then
+	// boundary variables.
+	offset := make([]int, len(ps.Demands)+1)
+	for d := range ps.Demands {
+		offset[d+1] = offset[d] + len(ps.Edges[d])
+	}
+	alphaVar := offset[len(ps.Demands)]
+	nvars := alphaVar + 1
+	type boundary struct {
+		d        int
+		loClass  []int // path indices of the shorter class
+		hiClass  []int // path indices of the longer class
+		varIndex int
+	}
+	var bounds []boundary
+	if dominance {
+		for d := range ps.Demands {
+			byHops := map[int][]int{}
+			for j := range ps.Edges[d] {
+				h := ps.hops[d][j]
+				byHops[h] = append(byHops[h], j)
+			}
+			var hs []int
+			for h := range byHops {
+				hs = append(hs, h)
+			}
+			sort.Ints(hs)
+			for i := 0; i+1 < len(hs); i++ {
+				bounds = append(bounds, boundary{
+					d:        d,
+					loClass:  byHops[hs[i]],
+					hiClass:  byHops[hs[i+1]],
+					varIndex: nvars,
+				})
+				nvars++
+			}
+		}
+	}
+	p := lp.NewProblem(nvars)
+	p.SetObjective(alphaVar, 1)
+	for d, dem := range ps.Demands {
+		terms := make([]lp.Term, 0, len(ps.Edges[d])+1)
+		for j := range ps.Edges[d] {
+			terms = append(terms, lp.Term{Var: offset[d] + j, Coeff: 1})
+		}
+		terms = append(terms, lp.Term{Var: alphaVar, Coeff: -dem.Rate})
+		p.AddConstraint(terms, lp.EQ, 0)
+	}
+	// Edge capacity rows (only for used edges).
+	edgeTerms := map[Edge][]lp.Term{}
+	for d := range ps.Demands {
+		for j, pe := range ps.Edges[d] {
+			for _, e := range pe {
+				edgeTerms[e] = append(edgeTerms[e], lp.Term{Var: offset[d] + j, Coeff: 1})
+			}
+		}
+	}
+	for e, terms := range edgeTerms {
+		p.AddConstraint(terms, lp.LE, ps.Net.Cap[e])
+	}
+	for _, b := range bounds {
+		for _, j := range b.hiClass {
+			p.AddConstraint([]lp.Term{
+				{Var: offset[b.d] + j, Coeff: 1},
+				{Var: b.varIndex, Coeff: -1},
+			}, lp.LE, 0)
+		}
+		for _, j := range b.loClass {
+			p.AddConstraint([]lp.Term{
+				{Var: b.varIndex, Coeff: 1},
+				{Var: offset[b.d] + j, Coeff: -1},
+			}, lp.LE, 0)
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return sol.X[alphaVar], nil
+}

@@ -1,0 +1,151 @@
+package flow
+
+import (
+	"sort"
+
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/traffic"
+)
+
+// EdgeWeight is one entry of a sparse per-unit load vector.
+type EdgeWeight struct {
+	E Edge
+	W float64
+}
+
+// SparseVec is a sparse expected-crossings-per-unit-of-traffic vector
+// over edges, sorted by edge id.
+type SparseVec []EdgeWeight
+
+// accumulate folds a weighted edge list into a map accumulator.
+func accumulate(acc map[Edge]float64, edges []Edge, w float64) {
+	for _, e := range edges {
+		acc[e] += w
+	}
+}
+
+func toSparse(acc map[Edge]float64) SparseVec {
+	v := make(SparseVec, 0, len(acc))
+	for e, w := range acc {
+		v = append(v, EdgeWeight{E: e, W: w})
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i].E < v[j].E })
+	return v
+}
+
+// LoadOptions controls how per-demand load vectors are estimated.
+type LoadOptions struct {
+	// Enumerate uses the exact candidate distribution via
+	// Policy.Enumerate. When false, loads are Monte-Carlo estimated
+	// with Samples draws per demand — the scalable mode for
+	// topologies like dfly(13,26,13,27) where enumeration is
+	// impractical.
+	Enumerate bool
+	// Samples per demand in Monte-Carlo mode (default 2048).
+	Samples int
+	// Seed for Monte-Carlo mode.
+	Seed uint64
+}
+
+// DemandLoads holds, for every demand of a pattern, the expected
+// per-unit edge crossings when routed MIN and when routed VLB under
+// a given policy, plus average hop counts for reporting.
+type DemandLoads struct {
+	Net     *Network
+	Demands []traffic.Demand
+	Min     []SparseVec
+	Vlb     []SparseVec
+	// VlbOK[i] is false when the pair has no candidate VLB path
+	// (its traffic is all-MIN regardless of the adaptive split).
+	VlbOK []bool
+	// MinHops and VlbHops are candidate-weighted average hop counts.
+	MinHops []float64
+	VlbHops []float64
+}
+
+// ComputeLoads builds the load vectors of all demands under pol.
+func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt LoadOptions) *DemandLoads {
+	if opt.Samples <= 0 {
+		opt.Samples = 2048
+	}
+	dl := &DemandLoads{
+		Net:     net,
+		Demands: demands,
+		Min:     make([]SparseVec, len(demands)),
+		Vlb:     make([]SparseVec, len(demands)),
+		VlbOK:   make([]bool, len(demands)),
+		MinHops: make([]float64, len(demands)),
+		VlbHops: make([]float64, len(demands)),
+	}
+	r := rng.New(opt.Seed)
+	var scratch []Edge
+	for i, d := range demands {
+		s, t := int(d.Src), int(d.Dst)
+
+		// MIN candidates are always enumerated exactly: there are at
+		// most K of them.
+		minPaths := paths.EnumerateMin(net.T, s, t)
+		acc := make(map[Edge]float64, 8)
+		w := 1 / float64(len(minPaths))
+		for _, p := range minPaths {
+			scratch = net.PathEdges(scratch[:0], p)
+			accumulate(acc, scratch, w)
+			dl.MinHops[i] += w * float64(p.Hops())
+		}
+		dl.Min[i] = toSparse(acc)
+
+		acc = make(map[Edge]float64, 64)
+		if opt.Enumerate {
+			vlbPaths := pol.Enumerate(s, t)
+			if len(vlbPaths) > 0 {
+				dl.VlbOK[i] = true
+				w = 1 / float64(len(vlbPaths))
+				for _, p := range vlbPaths {
+					scratch = net.PathEdges(scratch[:0], p)
+					accumulate(acc, scratch, w)
+					dl.VlbHops[i] += w * float64(p.Hops())
+				}
+			}
+		} else {
+			got := 0
+			for k := 0; k < opt.Samples; k++ {
+				p, ok := pol.SampleVLB(r, s, t)
+				if !ok {
+					break
+				}
+				got++
+				scratch = net.PathEdges(scratch[:0], p)
+				accumulate(acc, scratch, 1)
+				dl.VlbHops[i] += float64(p.Hops())
+			}
+			if got > 0 {
+				dl.VlbOK[i] = true
+				inv := 1 / float64(got)
+				for e := range acc {
+					acc[e] *= inv
+				}
+				dl.VlbHops[i] *= inv
+			}
+		}
+		dl.Vlb[i] = toSparse(acc)
+	}
+	return dl
+}
+
+// AvgVLBHops returns the demand-weighted average VLB candidate path
+// length — the quantity T-UGAL minimizes subject to path diversity
+// (paper §3.1's "average length of VLB paths").
+func (dl *DemandLoads) AvgVLBHops() float64 {
+	sum, wsum := 0.0, 0.0
+	for i, d := range dl.Demands {
+		if dl.VlbOK[i] {
+			sum += d.Rate * dl.VlbHops[i]
+			wsum += d.Rate
+		}
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}

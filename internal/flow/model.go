@@ -1,0 +1,57 @@
+package flow
+
+import (
+	"tugal/internal/paths"
+	"tugal/internal/stats"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// ModelOptions selects the estimator and solver for the throughput
+// model.
+type ModelOptions struct {
+	// Loads controls per-demand load estimation.
+	Loads LoadOptions
+	// Exact switches from the symmetric single-split solver to the
+	// per-demand-split LP (slower, tighter).
+	Exact bool
+}
+
+// DefaultModelOptions enumerates candidate sets exactly and uses the
+// symmetric solver — the configuration used for the Table-1 probe on
+// the paper's small/medium topologies.
+func DefaultModelOptions() ModelOptions {
+	return ModelOptions{Loads: LoadOptions{Enumerate: true}}
+}
+
+// ModelThroughput runs the behavioural UGAL throughput model for one
+// deterministic pattern under a path policy and returns the modeled
+// saturation throughput (packets/cycle/node).
+func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, opt ModelOptions) (Result, error) {
+	net := NewNetwork(t)
+	demands := traffic.SwitchDemands(t, pat)
+	if len(demands) == 0 {
+		return Result{Alpha: float64(t.P), SplitMin: 1}, nil
+	}
+	loads := ComputeLoads(net, pol, demands, opt.Loads)
+	if opt.Exact {
+		return SolveLP(loads)
+	}
+	return SolveSymmetric(loads), nil
+}
+
+// AverageModeled returns the mean and standard error of the modeled
+// throughput over a set of patterns — the per-data-point quantity of
+// the paper's Figures 4 and 5.
+func AverageModeled(t *topo.Topology, pol paths.Policy, pats []traffic.Deterministic, opt ModelOptions) (mean, stderr float64, err error) {
+	vals := make([]float64, 0, len(pats))
+	for _, pat := range pats {
+		res, e := ModelThroughput(t, pol, pat, opt)
+		if e != nil {
+			return 0, 0, e
+		}
+		vals = append(vals, res.Alpha)
+	}
+	m, se := stats.MeanErr(vals)
+	return m, se, nil
+}

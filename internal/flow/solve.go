@@ -1,0 +1,268 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tugal/internal/lp"
+	"tugal/internal/topo"
+)
+
+// Result is a throughput-model solution.
+type Result struct {
+	// Alpha is the modeled saturation throughput in packets/cycle per
+	// node: each node injecting Alpha saturates the first channel.
+	Alpha float64
+	// SplitMin is the (aggregate) fraction of traffic the model
+	// routes minimally at the optimum.
+	SplitMin float64
+}
+
+// SolveSymmetric maximizes alpha under a single MIN/VLB split shared
+// by all demands — exact for group-transitive patterns such as the
+// TYPE_1 shifts, and a fast lower bound in general. The inner
+// problem is quasiconcave in the split x, solved by golden-section
+// over a coarse grid bracket.
+func SolveSymmetric(dl *DemandLoads) Result {
+	fixed, mu, nu := aggregate(dl)
+	alphaAt := func(x float64) float64 {
+		best := math.Inf(1)
+		for e, f := range fixed {
+			load := f + x*mu[e] + (1-x)*nu[e]
+			if load <= 1e-12 {
+				continue
+			}
+			if a := dl.Net.Cap[e] / load; a < best {
+				best = a
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0
+		}
+		return best
+	}
+	// Coarse grid bracket, then golden-section refinement.
+	bestX, bestA := 0.0, alphaAt(0)
+	const grid = 64
+	for i := 1; i <= grid; i++ {
+		x := float64(i) / grid
+		if a := alphaAt(x); a > bestA {
+			bestA, bestX = a, x
+		}
+	}
+	lo := math.Max(0, bestX-1.0/grid)
+	hi := math.Min(1, bestX+1.0/grid)
+	const phi = 0.6180339887498949
+	for it := 0; it < 48; it++ {
+		m1 := hi - phi*(hi-lo)
+		m2 := lo + phi*(hi-lo)
+		if alphaAt(m1) < alphaAt(m2) {
+			lo = m1
+		} else {
+			hi = m2
+		}
+	}
+	x := (lo + hi) / 2
+	a := alphaAt(x)
+	if bestA > a {
+		a, x = bestA, bestX
+	}
+	return Result{Alpha: a, SplitMin: x}
+}
+
+// aggregate folds per-demand load vectors, weighted by demand rate,
+// into dense fixed/min/vlb load arrays. Demands without VLB paths
+// contribute their MIN loads to fixed (they cannot adapt).
+func aggregate(dl *DemandLoads) (fixed, mu, nu []float64) {
+	n := dl.Net.NumEdges
+	fixed = make([]float64, n)
+	mu = make([]float64, n)
+	nu = make([]float64, n)
+	for i, d := range dl.Demands {
+		if !dl.VlbOK[i] {
+			for _, ew := range dl.Min[i] {
+				fixed[ew.E] += d.Rate * ew.W
+			}
+			continue
+		}
+		for _, ew := range dl.Min[i] {
+			mu[ew.E] += d.Rate * ew.W
+		}
+		for _, ew := range dl.Vlb[i] {
+			nu[ew.E] += d.Rate * ew.W
+		}
+	}
+	return fixed, mu, nu
+}
+
+// SolveLP maximizes alpha with an independent MIN/VLB split per
+// demand (the full behavioural LP), via the exact simplex with
+// constraint generation over the channel-capacity rows. Suitable for
+// small and medium topologies; SolveSymmetric scales further.
+func SolveLP(dl *DemandLoads) (Result, error) {
+	nd := len(dl.Demands)
+	// Variables: m_0..m_{nd-1}, v_0..v_{nd-1}, alpha.
+	alphaVar := 2 * nd
+	prob := func(active []Edge) *lp.Problem {
+		p := lp.NewProblem(2*nd + 1)
+		p.SetObjective(alphaVar, 1)
+		for i, d := range dl.Demands {
+			if dl.VlbOK[i] {
+				p.AddConstraint([]lp.Term{
+					{Var: i, Coeff: 1},
+					{Var: nd + i, Coeff: 1},
+					{Var: alphaVar, Coeff: -d.Rate},
+				}, lp.EQ, 0)
+			} else {
+				p.AddConstraint([]lp.Term{
+					{Var: i, Coeff: 1},
+					{Var: alphaVar, Coeff: -d.Rate},
+				}, lp.EQ, 0)
+				p.AddConstraint([]lp.Term{{Var: nd + i, Coeff: 1}}, lp.EQ, 0)
+			}
+		}
+		// Keep alpha bounded even before capacity rows bind.
+		p.AddConstraint([]lp.Term{{Var: alphaVar, Coeff: 1}}, lp.LE, 4)
+		for _, e := range active {
+			var terms []lp.Term
+			for i := range dl.Demands {
+				for _, ew := range dl.Min[i] {
+					if ew.E == e {
+						terms = append(terms, lp.Term{Var: i, Coeff: ew.W})
+					}
+				}
+				for _, ew := range dl.Vlb[i] {
+					if ew.E == e {
+						terms = append(terms, lp.Term{Var: nd + i, Coeff: ew.W})
+					}
+				}
+			}
+			p.AddConstraint(terms, lp.LE, dl.Net.Cap[e])
+		}
+		return p
+	}
+
+	// Start from the edges most loaded under the symmetric optimum.
+	sym := SolveSymmetric(dl)
+	active := mostLoaded(dl, sym.SplitMin, 64)
+	inActive := make(map[Edge]bool, len(active))
+	for _, e := range active {
+		inActive[e] = true
+	}
+
+	var sol lp.Solution
+	for round := 0; round < 40; round++ {
+		var err error
+		sol, err = prob(active).Solve()
+		if err != nil {
+			return Result{}, fmt.Errorf("flow: round %d: %w", round, err)
+		}
+		// Check every edge for violation under the solution.
+		loads := make([]float64, dl.Net.NumEdges)
+		for i := range dl.Demands {
+			m, v := sol.X[i], sol.X[nd+i]
+			for _, ew := range dl.Min[i] {
+				loads[ew.E] += m * ew.W
+			}
+			for _, ew := range dl.Vlb[i] {
+				loads[ew.E] += v * ew.W
+			}
+		}
+		type viol struct {
+			e      Edge
+			excess float64
+		}
+		var vs []viol
+		for e := 0; e < dl.Net.NumEdges; e++ {
+			if ex := loads[e] - dl.Net.Cap[e]; ex > 1e-7 && !inActive[Edge(e)] {
+				vs = append(vs, viol{Edge(e), ex})
+			}
+		}
+		if len(vs) == 0 {
+			minSum, totSum := 0.0, 0.0
+			for i, d := range dl.Demands {
+				minSum += sol.X[i]
+				totSum += d.Rate * sol.X[alphaVar]
+			}
+			split := 0.0
+			if totSum > 0 {
+				split = minSum / totSum
+			}
+			return Result{Alpha: sol.X[alphaVar], SplitMin: split}, nil
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].excess > vs[j].excess })
+		if len(vs) > 64 {
+			vs = vs[:64]
+		}
+		for _, v := range vs {
+			active = append(active, v.e)
+			inActive[v.e] = true
+		}
+	}
+	return Result{}, fmt.Errorf("flow: constraint generation did not converge")
+}
+
+// mostLoaded returns the n edges with the highest load/capacity under
+// the symmetric split x.
+func mostLoaded(dl *DemandLoads, x float64, n int) []Edge {
+	fixed, mu, nu := aggregate(dl)
+	type le struct {
+		e Edge
+		u float64
+	}
+	all := make([]le, 0, dl.Net.NumEdges)
+	for e := 0; e < dl.Net.NumEdges; e++ {
+		load := fixed[e] + x*mu[e] + (1-x)*nu[e]
+		if load > 0 {
+			all = append(all, le{Edge(e), load / dl.Net.Cap[e]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]Edge, len(all))
+	for i, a := range all {
+		out[i] = a.e
+	}
+	return out
+}
+
+// DebugBinding prints the most utilized edges at a solution's
+// symmetric split; a development aid kept behind no build tag because
+// it is harmless and occasionally useful downstream.
+func DebugBinding(dl *DemandLoads, res Result, n int) {
+	fixed, mu, nu := aggregate(dl)
+	type le struct {
+		e Edge
+		u float64
+	}
+	var all []le
+	for e := 0; e < dl.Net.NumEdges; e++ {
+		load := fixed[e] + res.SplitMin*mu[e] + (1-res.SplitMin)*nu[e]
+		if load > 0 {
+			all = append(all, le{Edge(e), res.Alpha * load / dl.Net.Cap[e]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
+	if len(all) > n {
+		all = all[:n]
+	}
+	t := dl.Net.T
+	for _, a := range all {
+		kind := "inj/ej"
+		desc := ""
+		if int(a.e) < t.NumSwitches()*(t.A-1+t.H) {
+			sw := int(a.e) / (t.A - 1 + t.H)
+			port := int(a.e)%(t.A-1+t.H) + t.P
+			if t.KindOfPort(port) == topo.Global {
+				kind = "global"
+			} else {
+				kind = "local"
+			}
+			desc = fmt.Sprintf("sw=%d(g%d) port=%d -> %d", sw, t.GroupOf(sw), port, t.PeerOfPort(sw, port))
+		}
+		fmt.Printf("   util=%.4f %s %s\n", a.u, kind, desc)
+	}
+}

@@ -1,0 +1,292 @@
+// Package lp is a small, dependency-free linear programming solver:
+// a dense two-phase primal simplex. It stands in for the IBM CPLEX
+// optimizer the paper used to solve its UGAL throughput model. It is
+// exact (up to floating-point tolerance) and is used directly on
+// small model instances and as the reference oracle that validates
+// the scalable Garg-Könemann approximation in internal/flow.
+//
+// Problems are stated as: maximize cᵀx subject to sparse rows
+// aᵀx {<=,=,>=} b with x >= 0.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is a constraint relation.
+type Sense int8
+
+// Constraint senses.
+const (
+	LE Sense = iota // aᵀx <= b
+	EQ              // aᵀx  = b
+	GE              // aᵀx >= b
+)
+
+// Term is one sparse coefficient.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+type row struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem accumulates a maximization LP.
+type Problem struct {
+	n    int
+	c    []float64
+	rows []row
+}
+
+// NewProblem creates a problem with n decision variables (x >= 0),
+// all with zero objective coefficient until SetObjective/Objective.
+func NewProblem(n int) *Problem {
+	return &Problem{n: n, c: make([]float64, n)}
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// SetObjective sets the coefficient of variable v in the (maximized)
+// objective.
+func (p *Problem) SetObjective(v int, coeff float64) {
+	p.c[v] = coeff
+}
+
+// AddConstraint appends a sparse constraint.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+	cp := append([]Term(nil), terms...)
+	p.rows = append(p.rows, row{terms: cp, sense: sense, rhs: rhs})
+}
+
+// Solution is an optimal LP solution.
+type Solution struct {
+	Objective float64
+	X         []float64
+}
+
+// Solver errors.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterations = errors.New("lp: iteration limit exceeded")
+)
+
+const eps = 1e-9
+
+// Solve runs two-phase primal simplex and returns an optimal solution.
+func (p *Problem) Solve() (Solution, error) {
+	m := len(p.rows)
+	// Column layout: [0,n) decision, [n, n+m) slack/surplus (one per
+	// row; zero-width for EQ rows but we keep the slot and never use
+	// it, simplifying indexing), then artificials appended as needed.
+	nSlack := m
+	nArt := 0
+	artOf := make([]int, m) // artificial column per row, -1 if none
+	for i := range p.rows {
+		artOf[i] = -1
+	}
+	// Normalize rhs >= 0.
+	rows := make([]row, m)
+	copy(rows, p.rows)
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			t := make([]Term, len(rows[i].terms))
+			for j, tm := range rows[i].terms {
+				t[j] = Term{tm.Var, -tm.Coeff}
+			}
+			rows[i].terms = t
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	for i, r := range rows {
+		switch r.sense {
+		case GE, EQ:
+			artOf[i] = p.n + nSlack + nArt
+			nArt++
+		}
+	}
+	total := p.n + nSlack + nArt
+	// Dense tableau: m rows x (total+1) columns (last = rhs).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i, r := range rows {
+		tab[i] = make([]float64, total+1)
+		for _, tm := range r.terms {
+			tab[i][tm.Var] += tm.Coeff
+		}
+		tab[i][total] = r.rhs
+		slack := p.n + i
+		switch r.sense {
+		case LE:
+			tab[i][slack] = 1
+			basis[i] = slack
+		case GE:
+			tab[i][slack] = -1
+			tab[i][artOf[i]] = 1
+			basis[i] = artOf[i]
+		case EQ:
+			tab[i][artOf[i]] = 1
+			basis[i] = artOf[i]
+		}
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimize sum of artificials == maximize -sum.
+		obj := make([]float64, total)
+		for i := range rows {
+			if a := artOf[i]; a >= 0 {
+				obj[a] = -1
+			}
+		}
+		val, err := simplexIterate(tab, basis, obj)
+		if err != nil {
+			return Solution{}, err
+		}
+		if val < -1e-7 {
+			return Solution{}, ErrInfeasible
+		}
+		// Drive remaining artificials out of the basis where possible;
+		// rows whose artificial stays basic at zero are redundant.
+		for i := range tab {
+			if basis[i] >= p.n+nSlack {
+				pivoted := false
+				for j := 0; j < p.n+nSlack; j++ {
+					if math.Abs(tab[i][j]) > eps {
+						pivot(tab, basis, i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted && math.Abs(tab[i][total]) > 1e-7 {
+					return Solution{}, ErrInfeasible
+				}
+			}
+		}
+		// Forbid artificials in phase 2 by zeroing their columns.
+		for i := range tab {
+			for j := p.n + nSlack; j < total; j++ {
+				tab[i][j] = 0
+			}
+		}
+	}
+
+	// Phase 2.
+	obj := make([]float64, total)
+	copy(obj, p.c)
+	val, err := simplexIterate(tab, basis, obj)
+	if err != nil {
+		return Solution{}, err
+	}
+	x := make([]float64, p.n)
+	for i, b := range basis {
+		if b < p.n {
+			x[b] = tab[i][total]
+		}
+	}
+	return Solution{Objective: val, X: x}, nil
+}
+
+// simplexIterate maximizes obj over the current tableau/basis in
+// place, returning the optimal objective value.
+func simplexIterate(tab [][]float64, basis []int, obj []float64) (float64, error) {
+	m := len(tab)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(obj)
+	rhsCol := len(tab[0]) - 1
+	// Reduced costs: z_j - c_j. Maintain incrementally would be
+	// faster; recompute per iteration for robustness (sizes here are
+	// modest by design).
+	maxIter := 200 * (m + total)
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter > 50*(m+total)
+		// Compute reduced cost for each column.
+		enter := -1
+		best := eps
+		for j := 0; j < total; j++ {
+			zj := 0.0
+			for i := 0; i < m; i++ {
+				if cb := obj[basis[i]]; cb != 0 && tab[i][j] != 0 {
+					zj += cb * tab[i][j]
+				}
+			}
+			rc := obj[j] - zj
+			if rc > eps {
+				if bland {
+					enter = j
+					break
+				}
+				if rc > best {
+					best = rc
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			// Optimal: objective value = sum cb * rhs.
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * tab[i][rhsCol]
+			}
+			return val, nil
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][rhsCol] / tab[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+	}
+	return 0, fmt.Errorf("%w after %d iterations", ErrIterations, 200*(m+total))
+}
+
+// pivot makes column j basic in row i.
+func pivot(tab [][]float64, basis []int, i, j int) {
+	piv := tab[i][j]
+	ri := tab[i]
+	inv := 1 / piv
+	for k := range ri {
+		ri[k] *= inv
+	}
+	ri[j] = 1 // exact
+	for r := range tab {
+		if r == i {
+			continue
+		}
+		f := tab[r][j]
+		if f == 0 {
+			continue
+		}
+		rr := tab[r]
+		for k := range rr {
+			rr[k] -= f * ri[k]
+		}
+		rr[j] = 0 // exact
+	}
+	basis[i] = j
+}

@@ -1,0 +1,216 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tugal/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleLE(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 12, 1e-6) {
+		t.Fatalf("objective %v want 12", sol.Objective)
+	}
+	if !approx(sol.X[0], 4, 1e-6) || !approx(sol.X[1], 0, 1e-6) {
+		t.Fatalf("x=%v", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// max x + y s.t. x + y = 3, x >= 1, y <= 1.5 -> obj 3.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 1.5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 3, 1e-6) {
+		t.Fatalf("objective %v want 3", sol.Objective)
+	}
+	if sol.X[0] < 1-1e-9 || sol.X[1] > 1.5+1e-9 {
+		t.Fatalf("x=%v violates bounds", sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err=%v want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{1, 1}}, LE, 1)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err=%v want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -2)
+	p.AddConstraint([]Term{{0, 1}}, LE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 5, 1e-6) {
+		t.Fatalf("objective %v want 5", sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A classic degenerate corner; must not cycle.
+	p := NewProblem(3)
+	p.SetObjective(0, 10)
+	p.SetObjective(1, -57)
+	p.SetObjective(2, -9)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -5.5}, {2, -2.5}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -1.5}, {2, -0.5}}, LE, 0)
+	p.AddConstraint([]Term{{0, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 1, 1e-5) {
+		t.Fatalf("objective %v want 1", sol.Objective)
+	}
+}
+
+func TestMaxFlowAsLP(t *testing.T) {
+	// Max flow on a 4-node diamond: s->a (cap 3), s->b (cap 2),
+	// a->t (cap 2), b->t (cap 3), a->b (cap 1). Max flow = 5?
+	// s->a->t:2, s->a->b->t:1, s->b->t:2 = 5.
+	// Variables: f_sa, f_sb, f_at, f_bt, f_ab.
+	p := NewProblem(5)
+	// Maximize flow into t.
+	p.SetObjective(2, 1)
+	p.SetObjective(3, 1)
+	caps := []float64{3, 2, 2, 3, 1}
+	for i, c := range caps {
+		p.AddConstraint([]Term{{i, 1}}, LE, c)
+	}
+	// Conservation at a: f_sa = f_at + f_ab.
+	p.AddConstraint([]Term{{0, 1}, {2, -1}, {4, -1}}, EQ, 0)
+	// Conservation at b: f_sb + f_ab = f_bt.
+	p.AddConstraint([]Term{{1, 1}, {4, 1}, {3, -1}}, EQ, 0)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 5, 1e-6) {
+		t.Fatalf("max flow %v want 5", sol.Objective)
+	}
+}
+
+// TestAgainstBruteForce cross-checks random small LPs against
+// brute-force vertex enumeration over constraint intersections.
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 2
+		m := 3 + r.Intn(3)
+		c := []float64{r.Float64()*4 - 1, r.Float64()*4 - 1}
+		type cons struct {
+			a   [2]float64
+			rhs float64
+		}
+		var cs []cons
+		for i := 0; i < m; i++ {
+			cs = append(cs, cons{
+				a:   [2]float64{r.Float64() * 2, r.Float64() * 2},
+				rhs: 1 + r.Float64()*4,
+			})
+		}
+		p := NewProblem(n)
+		p.SetObjective(0, c[0])
+		p.SetObjective(1, c[1])
+		for _, cc := range cs {
+			p.AddConstraint([]Term{{0, cc.a[0]}, {1, cc.a[1]}}, LE, cc.rhs)
+		}
+		sol, err := p.Solve()
+		if err == ErrUnbounded {
+			return true // brute force below only handles bounded cases
+		}
+		if err != nil {
+			return false
+		}
+		// Brute force: evaluate all pairwise constraint intersections
+		// plus axis intersections; keep feasible ones.
+		feasible := func(x, y float64) bool {
+			if x < -1e-9 || y < -1e-9 {
+				return false
+			}
+			for _, cc := range cs {
+				if cc.a[0]*x+cc.a[1]*y > cc.rhs+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		best := 0.0 // origin is feasible (rhs >= 1 > 0)
+		lines := make([][3]float64, 0, m+2)
+		for _, cc := range cs {
+			lines = append(lines, [3]float64{cc.a[0], cc.a[1], cc.rhs})
+		}
+		lines = append(lines, [3]float64{1, 0, 0}, [3]float64{0, 1, 0})
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i][0]*lines[j][1] - lines[j][0]*lines[i][1]
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (lines[i][2]*lines[j][1] - lines[j][2]*lines[i][1]) / det
+				y := (lines[i][0]*lines[j][2] - lines[j][0]*lines[i][2]) / det
+				if feasible(x, y) {
+					if v := c[0]*x + c[1]*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		return approx(sol.Objective, best, 1e-5*(1+math.Abs(best)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Redundant EQ rows (linearly dependent) must not break phase 1.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 2, 1e-6) {
+		t.Fatalf("objective %v want 2", sol.Objective)
+	}
+}

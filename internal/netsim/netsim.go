@@ -1,0 +1,461 @@
+// Package netsim is a cycle-level flit simulator for Dragonfly
+// networks, standing in for BookSim 2.0 in the paper's methodology
+// (§4.1.2). It models input-queued virtual-channel routers with
+// credit-based flow control, configurable internal speedup,
+// configurable local/global channel latencies, single-flit packets,
+// source-routed adaptive routing (the routing function chooses a
+// concrete MIN or VLB route per packet, PAR may revise in the source
+// group), warmup plus measurement windows, and the paper's
+// 500-cycle average-latency saturation rule.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"tugal/internal/rng"
+	"tugal/internal/stats"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Config mirrors the paper's Table 3 simulator parameters.
+type Config struct {
+	NumVCs        int     // virtual channels per channel (4 UGAL, 5 PAR)
+	BufSize       int     // flit buffer depth per (port, VC)
+	LocalLatency  int     // local channel latency, cycles
+	GlobalLatency int     // global channel latency, cycles
+	SpeedUp       int     // router internal speedup
+	LatencyCap    float64 // average latency above which the network is saturated
+	Seed          uint64  // master seed (traffic, routing candidates)
+	// CollectChanStats enables per-channel flit counting during the
+	// measurement window (RunResult.Channels).
+	CollectChanStats bool
+	// PacketSize is the number of flits per packet. 1 (the paper's
+	// setting, default when 0) uses the fast single-flit path; >1
+	// switches to wormhole flow control: the head flit acquires the
+	// pre-assigned output VC at each hop and holds it until the tail
+	// passes, body flits follow in order, and packet latency is
+	// measured head-generation to tail-ejection.
+	PacketSize int
+}
+
+// DefaultConfig returns Table 3: 4 VCs, 32-flit buffers, 10/15-cycle
+// local/global latency, speedup 2, 500-cycle saturation threshold.
+func DefaultConfig() Config {
+	return Config{
+		NumVCs:        4,
+		BufSize:       32,
+		LocalLatency:  10,
+		GlobalLatency: 15,
+		SpeedUp:       2,
+		LatencyCap:    500,
+		Seed:          1,
+	}
+}
+
+// RouteHop is one step of a source route: the out-port to take at the
+// current switch and the VC to occupy on that channel.
+type RouteHop struct {
+	Port int8
+	VC   int8
+}
+
+// Flit is one flit; with the paper's single-flit packets (the
+// default) it is the whole packet. In multi-flit mode the head flit
+// carries the route and decisions; body/tail flits reference it.
+type Flit struct {
+	ID       int64
+	Src, Dst int32 // node ids
+	Route    []RouteHop
+	HopIdx   int32
+	GenTime  int64 // cycle the packet was generated at the node
+	InjTime  int64 // cycle the packet entered its source switch
+	// Measured marks packets generated inside the measurement window.
+	Measured bool
+	// MinRouted records the UGAL decision (diagnostics + PAR).
+	MinRouted bool
+	// Revisable marks a MIN-routed PAR packet that may divert at the
+	// source-group gateway switch.
+	Revisable bool
+	// LocalHops/GlobalHops taken so far; routing uses them to assign
+	// VCs when revising a route mid-flight.
+	LocalHops, GlobalHops int8
+	// Multi-flit (wormhole) mode only:
+	// PktID groups the flits of one packet; IsTail marks the last
+	// flit; head points to the packet's head flit on body/tail flits
+	// (nil on heads and in single-flit mode) — body flits read the
+	// route through the head so a PAR revision reaches them, but
+	// advance their own HopIdx; pending (head only) counts the
+	// packet's not-yet-ejected flits so the head's storage outlives
+	// its own ejection.
+	PktID   int64
+	IsTail  bool
+	head    *Flit
+	pending int32
+}
+
+// route returns the packet's route (shared through the head for
+// body/tail flits).
+func (f *Flit) route() []RouteHop {
+	if f.head != nil {
+		return f.head.Route
+	}
+	return f.Route
+}
+
+// RoutingFunc computes and revises source routes. Implementations
+// live in internal/routing (UGAL-L, UGAL-G, PAR and T- variants).
+type RoutingFunc interface {
+	Name() string
+	// SourceRoute fills f.Route (ending with the ejection hop),
+	// f.MinRouted and f.Revisable for a packet entering the network.
+	SourceRoute(n *Network, r *rng.Source, f *Flit)
+	// Revise is called once when a Revisable flit reaches the head of
+	// an input buffer at switch sw; it may rewrite the remaining
+	// route. Implementations that never revise can no-op.
+	Revise(n *Network, r *rng.Source, f *Flit, sw int32)
+}
+
+// chanRef identifies the far end of a channel: a (router, port) pair.
+type chanRef struct {
+	r    int32
+	port int8
+}
+
+// fifo is a slice-backed flit queue with amortized O(1) pop.
+type fifo struct {
+	buf  []*Flit
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(f *Flit) { q.buf = append(q.buf, f) }
+
+func (q *fifo) peek() *Flit {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *fifo) pop() *Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head >= 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return f
+}
+
+// router is one input-queued switch.
+type router struct {
+	// id is the switch id (the router's own index).
+	id int32
+	// in[port][vc] input buffers; terminal ports hold injected flits.
+	in []fifo
+	// portMask has bit p set when port p buffers any flit; vcMask[p]
+	// has bit v set when in[p][v] is non-empty. The allocator scans
+	// set bits instead of all (port, vc) slots.
+	portMask uint64
+	vcMask   []uint16
+	// headCache[port*numVCs+vc] caches the head flit's decoded next
+	// hop as outPort<<8|outVC (headEmpty when the queue is empty), so
+	// the allocator's hot scan touches one contiguous uint16 array
+	// instead of dereferencing flits.
+	headCache []uint16
+	// inOcc[port] is the total buffered flit count of the port: the
+	// quantity UGAL-G reads remotely.
+	inOcc []int32
+	// credits[(port-p)*numVCs+vc] tracks free downstream slots for
+	// each non-terminal out-port.
+	credits []int16
+	// ovcOwner[(port-p)*numVCs+vc] is the PktID holding the output
+	// VC in wormhole mode (-1 free); nil in single-flit mode.
+	ovcOwner []int64
+	// inChan[port] is the upstream (router, port) feeding this input
+	// (r = -1 for terminal ports); used to return credits.
+	inChan []chanRef
+	// outPeer[port-p] is the downstream (router, in-port) of each
+	// non-terminal out-port.
+	outPeer []chanRef
+	// outLat[port-p] is the channel latency of each non-terminal
+	// out-port.
+	outLat []int16
+	// rrPort rotates input arbitration priority.
+	rrPort int32
+	// flits counts all buffered flits (skip idle routers fast).
+	flits int32
+}
+
+// event is a timing-wheel entry: a flit delivery (flit != nil) into
+// in[port][vc] of router r, or a credit return (flit == nil) for
+// out-port port, VC vc of router r.
+type event struct {
+	flit *Flit
+	r    int32
+	port int8
+	vc   int8
+}
+
+// Network is a runnable simulation instance.
+type Network struct {
+	T   *topo.Topology
+	Cfg Config
+
+	routing RoutingFunc
+	pattern traffic.Pattern
+	rate    float64
+
+	now     int64
+	routers []router
+	wheel   [][]event
+	wheelAt int
+
+	// Per-node unbounded source queues and next generation times.
+	nodeQ   []fifo
+	nextGen []int64
+
+	trafficRNG *rng.Source
+	routeRNG   *rng.Source
+
+	nextID int64
+
+	// Accounting.
+	injected    int64 // entered a source queue
+	delivered   int64 // ejected at destination
+	lastDeliver int64 // cycle of the most recent ejection
+	measBegin   int64
+	measEnd     int64
+	measLatency stats.Welford
+	measHist    *stats.Histogram
+	measHops    stats.Welford
+	measVLB     int64 // measured packets routed non-minimally
+	measInj     int64 // measured packets that entered the network
+	measCount   int64 // measured packets generated
+	measDeliv   int64 // measured packets delivered
+	deliveredIn int64 // packets delivered within [measBegin, measEnd)
+
+	// chanCount[sw*(radix-p) + out-p] counts flits sent on each
+	// switch-to-switch channel during the measurement window (only
+	// when Cfg.CollectChanStats).
+	chanCount []int64
+
+	freeFlits []*Flit
+}
+
+// ChannelStats summarizes per-channel utilization over the
+// measurement window, split by channel class. Utilization is in
+// flits/cycle; MaxOverMean quantifies imbalance (1.0 = perfectly
+// even) — the quantity Algorithm 1's balance adjustment targets.
+type ChannelStats struct {
+	LocalMean, LocalMax   float64
+	GlobalMean, GlobalMax float64
+	LocalMaxOverMean      float64
+	GlobalMaxOverMean     float64
+}
+
+// New builds a simulation of pattern traffic at the given per-node
+// injection rate (packets/cycle/node) under a routing function.
+func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate float64) *Network {
+	if cfg.NumVCs < 1 || cfg.BufSize < 1 || cfg.SpeedUp < 1 {
+		panic("netsim: invalid config")
+	}
+	if cfg.PacketSize == 0 {
+		cfg.PacketSize = 1
+	}
+	if cfg.PacketSize < 1 || cfg.PacketSize > cfg.BufSize {
+		panic("netsim: PacketSize must be in [1, BufSize]")
+	}
+	if rate < 0 || rate > 1 {
+		panic("netsim: rate must be in [0,1]")
+	}
+	n := &Network{
+		T:          t,
+		Cfg:        cfg,
+		routing:    rf,
+		pattern:    pat,
+		rate:       rate,
+		trafficRNG: rng.New(rng.Hash64(cfg.Seed, 0x7af1c)),
+		routeRNG:   rng.New(rng.Hash64(cfg.Seed, 0x40e5)),
+		measBegin:  math.MaxInt64,
+		measEnd:    math.MaxInt64,
+		measHist:   stats.NewHistogram(5, 400), // 5-cycle buckets to 2000
+	}
+	n.build()
+	return n
+}
+
+// build wires routers and channels from the topology.
+func (n *Network) build() {
+	t := n.T
+	sw := t.NumSwitches()
+	ports := t.Radix()
+	nonTerm := ports - t.P
+	maxLat := n.Cfg.GlobalLatency
+	if n.Cfg.LocalLatency > maxLat {
+		maxLat = n.Cfg.LocalLatency
+	}
+	n.wheel = make([][]event, maxLat+2)
+	n.routers = make([]router, sw)
+	if ports > 64 {
+		panic("netsim: switch radix above 64 unsupported by the port-mask allocator")
+	}
+	if n.Cfg.NumVCs > 16 {
+		panic("netsim: more than 16 VCs unsupported by the vc-mask allocator")
+	}
+	for i := 0; i < sw; i++ {
+		rt := &n.routers[i]
+		rt.id = int32(i)
+		rt.in = make([]fifo, ports*n.Cfg.NumVCs)
+		rt.vcMask = make([]uint16, ports)
+		rt.headCache = make([]uint16, ports*n.Cfg.NumVCs)
+		for c := range rt.headCache {
+			rt.headCache[c] = headEmpty
+		}
+		rt.inOcc = make([]int32, ports)
+		rt.credits = make([]int16, nonTerm*n.Cfg.NumVCs)
+		for c := range rt.credits {
+			rt.credits[c] = int16(n.Cfg.BufSize)
+		}
+		if n.Cfg.PacketSize > 1 {
+			rt.ovcOwner = make([]int64, nonTerm*n.Cfg.NumVCs)
+			for c := range rt.ovcOwner {
+				rt.ovcOwner[c] = -1
+			}
+		}
+		rt.inChan = make([]chanRef, ports)
+		rt.outPeer = make([]chanRef, nonTerm)
+		rt.outLat = make([]int16, nonTerm)
+		for pt := range rt.inChan {
+			rt.inChan[pt] = chanRef{r: -1}
+		}
+	}
+	for u := 0; u < sw; u++ {
+		rt := &n.routers[u]
+		// Local channels.
+		for idx := 0; idx < t.A; idx++ {
+			v := (u/t.A)*t.A + idx
+			if v == u {
+				continue
+			}
+			pt := t.LocalPort(u, v)
+			peerPt := t.LocalPort(v, u)
+			rt.outPeer[pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
+			rt.outLat[pt-t.P] = int16(n.Cfg.LocalLatency)
+			n.routers[v].inChan[peerPt] = chanRef{r: int32(u), port: int8(pt)}
+		}
+		// Global channels.
+		for gp := 0; gp < t.H; gp++ {
+			v := t.GlobalPeer(u, gp)
+			pgp := t.GlobalPeerPort(u, gp)
+			pt := t.GlobalPort(gp)
+			peerPt := t.GlobalPort(pgp)
+			rt.outPeer[pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
+			rt.outLat[pt-t.P] = int16(n.Cfg.GlobalLatency)
+			n.routers[v].inChan[peerPt] = chanRef{r: int32(u), port: int8(pt)}
+		}
+	}
+	nodes := t.NumNodes()
+	n.nodeQ = make([]fifo, nodes)
+	n.nextGen = make([]int64, nodes)
+	for i := range n.nextGen {
+		n.nextGen[i] = n.geomNext(0)
+	}
+}
+
+// geomNext draws the next generation time strictly after 'after'
+// for the Bernoulli(rate) per-cycle injection process.
+func (n *Network) geomNext(after int64) int64 {
+	if n.rate <= 0 {
+		return math.MaxInt64
+	}
+	if n.rate >= 1 {
+		return after + 1
+	}
+	u := n.trafficRNG.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	gap := int64(math.Floor(math.Log(u)/math.Log(1-n.rate))) + 1
+	if gap < 1 {
+		gap = 1
+	}
+	return after + gap
+}
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// Routing returns the routing function under simulation.
+func (n *Network) Routing() RoutingFunc { return n.routing }
+
+// CreditOcc estimates the occupancy of the downstream buffer of a
+// non-terminal out-port from local credit state: the information a
+// real router has, used by UGAL-L and PAR.
+func (n *Network) CreditOcc(sw int32, port int) int {
+	rt := &n.routers[sw]
+	base := (port - n.T.P) * n.Cfg.NumVCs
+	free := 0
+	for v := 0; v < n.Cfg.NumVCs; v++ {
+		free += int(rt.credits[base+v])
+	}
+	return n.Cfg.NumVCs*n.Cfg.BufSize - free
+}
+
+// DownstreamOcc returns the true buffered occupancy of the input
+// buffer fed by out-port port of switch sw: the oracle information
+// UGAL-G assumes.
+func (n *Network) DownstreamOcc(sw int32, port int) int {
+	rt := &n.routers[sw]
+	peer := rt.outPeer[port-n.T.P]
+	return int(n.routers[peer.r].inOcc[peer.port])
+}
+
+// allocFlit takes a flit from the free list or allocates one.
+func (n *Network) allocFlit() *Flit {
+	if k := len(n.freeFlits); k > 0 {
+		f := n.freeFlits[k-1]
+		n.freeFlits = n.freeFlits[:k-1]
+		route := f.Route[:0]
+		*f = Flit{Route: route}
+		return f
+	}
+	return &Flit{}
+}
+
+func (n *Network) freeFlit(f *Flit) {
+	if len(n.freeFlits) < 1<<16 {
+		n.freeFlits = append(n.freeFlits, f)
+	}
+}
+
+// audit verifies flit conservation; used by tests.
+func (n *Network) audit() (inFlight int64, err error) {
+	var buffered int64
+	for i := range n.routers {
+		buffered += int64(n.routers[i].flits)
+	}
+	var queued int64
+	for i := range n.nodeQ {
+		queued += int64(n.nodeQ[i].len())
+	}
+	var wheeled int64
+	for _, bucket := range n.wheel {
+		for _, ev := range bucket {
+			if ev.flit != nil {
+				wheeled++
+			}
+		}
+	}
+	inFlight = buffered + queued + wheeled
+	if n.injected != n.delivered+inFlight {
+		return inFlight, fmt.Errorf("netsim: conservation violated: injected=%d delivered=%d inflight=%d",
+			n.injected, n.delivered, inFlight)
+	}
+	return inFlight, nil
+}

@@ -1,0 +1,494 @@
+package netsim
+
+import (
+	"math"
+	"math/bits"
+
+	"tugal/internal/topo"
+)
+
+// RunResult summarizes one simulation at one offered load.
+type RunResult struct {
+	// OfferedLoad is the realized injection rate (packets/cycle/node)
+	// during the measurement window.
+	OfferedLoad float64
+	// Throughput is the accepted rate: packets delivered per cycle
+	// per node during the measurement window.
+	Throughput float64
+	// AvgLatency is the mean packet latency (generation to ejection,
+	// including source queueing) of packets generated during the
+	// measurement window; +Inf when too many never drained.
+	AvgLatency float64
+	// P50Latency and P99Latency are latency quantiles of the same
+	// packets (bucket-resolution approximations).
+	P50Latency float64
+	P99Latency float64
+	// AvgHops is the mean switch-hop count of measured packets.
+	AvgHops float64
+	// VLBFraction is the share of measured packets routed on a
+	// non-minimal (VLB) path.
+	VLBFraction float64
+	// Saturated applies the paper's rule: AvgLatency > LatencyCap.
+	Saturated bool
+	// Measured and Undelivered count measurement-window packets.
+	Measured    int64
+	Undelivered int64
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+	// Channels holds per-channel utilization when
+	// Config.CollectChanStats was set (nil otherwise).
+	Channels *ChannelStats
+	// DeadlockSuspected is set when the watchdog observed flits in
+	// flight but no ejection for watchdogWindow consecutive cycles —
+	// a routing/VC configuration bug, never a legitimate state of
+	// the provided deadlock-free schemes.
+	DeadlockSuspected bool
+}
+
+// watchdogWindow is the no-progress horizon for deadlock suspicion:
+// longer than any credit round trip plus arbitration transients.
+const watchdogWindow = 2000
+
+// Run simulates warmup cycles, a measurement window, and a drain
+// phase (capped at drainCap cycles) and returns the results. The
+// paper's settings are warmup=30000 (three 10000-cycle windows),
+// measure=10000.
+func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
+	n.resetMeasurement()
+	n.measBegin = n.now + warmup
+	n.measEnd = n.measBegin + measure
+	if n.Cfg.CollectChanStats && n.chanCount == nil {
+		n.chanCount = make([]int64, n.T.NumSwitches()*(n.T.Radix()-n.T.P))
+	}
+	for n.now < n.measEnd {
+		n.step()
+	}
+	deadline := n.measEnd + drainCap
+	for n.measDeliv < n.measCount && n.now < deadline {
+		n.step()
+	}
+	nodes := float64(n.T.NumNodes())
+	res := RunResult{
+		OfferedLoad: float64(n.measCount) / (nodes * float64(measure)),
+		Throughput:  float64(n.deliveredIn) / (nodes * float64(measure)),
+		AvgHops:     n.measHops.Mean(),
+		Measured:    n.measCount,
+		Undelivered: n.measCount - n.measDeliv,
+		Cycles:      n.now,
+	}
+	if n.measInj > 0 {
+		res.VLBFraction = float64(n.measVLB) / float64(n.measInj)
+	}
+	res.AvgLatency = n.measLatency.Mean()
+	res.P50Latency = n.measHist.Quantile(0.5)
+	res.P99Latency = n.measHist.Quantile(0.99)
+	// If a non-trivial share of measured packets never drained, the
+	// delivered-only mean underestimates: report saturation outright.
+	if n.measCount > 0 && float64(res.Undelivered) > 0.02*float64(n.measCount) {
+		res.AvgLatency = math.Inf(1)
+	}
+	res.Saturated = res.AvgLatency > n.Cfg.LatencyCap
+	if n.chanCount != nil {
+		res.Channels = n.channelStats(measure)
+	}
+	res.DeadlockSuspected = n.deadlockSuspected()
+	return res
+}
+
+// deadlockSuspected reports whether flits are in flight but nothing
+// has been delivered for watchdogWindow cycles.
+func (n *Network) deadlockSuspected() bool {
+	if n.injected == n.delivered {
+		return false
+	}
+	return n.now-n.lastDeliver >= watchdogWindow
+}
+
+// channelStats aggregates the per-channel counters.
+func (n *Network) channelStats(measure int64) *ChannelStats {
+	t := n.T
+	nonTerm := t.Radix() - t.P
+	cs := &ChannelStats{}
+	var lSum, gSum float64
+	var lN, gN int
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		for o := 0; o < nonTerm; o++ {
+			u := float64(n.chanCount[sw*nonTerm+o]) / float64(measure)
+			if t.KindOfPort(o+t.P) == topo.Global {
+				gSum += u
+				gN++
+				if u > cs.GlobalMax {
+					cs.GlobalMax = u
+				}
+			} else {
+				lSum += u
+				lN++
+				if u > cs.LocalMax {
+					cs.LocalMax = u
+				}
+			}
+		}
+	}
+	if lN > 0 {
+		cs.LocalMean = lSum / float64(lN)
+		if cs.LocalMean > 0 {
+			cs.LocalMaxOverMean = cs.LocalMax / cs.LocalMean
+		}
+	}
+	if gN > 0 {
+		cs.GlobalMean = gSum / float64(gN)
+		if cs.GlobalMean > 0 {
+			cs.GlobalMaxOverMean = cs.GlobalMax / cs.GlobalMean
+		}
+	}
+	return cs
+}
+
+// resetMeasurement clears window statistics, making Run callable
+// repeatedly on a warm network (the mechanism behind RunConverged).
+func (n *Network) resetMeasurement() {
+	n.measLatency.Reset()
+	n.measHist.Reset()
+	n.measHops.Reset()
+	n.measVLB, n.measInj, n.measCount, n.measDeliv, n.deliveredIn = 0, 0, 0, 0, 0
+	if n.chanCount != nil {
+		for i := range n.chanCount {
+			n.chanCount[i] = 0
+		}
+	}
+}
+
+// RunConverged is the BookSim-style adaptive methodology: after the
+// warmup, it simulates successive measurement windows until the mean
+// latency of consecutive windows agrees within relTol (or maxWindows
+// is hit), then runs one final drained window and reports it. The
+// returned int is the number of windows simulated (including the
+// final one). Use it instead of Run when the fixed three-window
+// warmup is not trusted for a workload.
+func (n *Network) RunConverged(warmup, window int64, relTol float64,
+	maxWindows int, drainCap int64) (RunResult, int) {
+	if relTol <= 0 {
+		relTol = 0.05
+	}
+	if maxWindows < 1 {
+		maxWindows = 10
+	}
+	n.Run(warmup, window, 0)
+	prev := n.measLatency.Mean()
+	for w := 2; w <= maxWindows; w++ {
+		n.Run(0, window, 0)
+		mean := n.measLatency.Mean()
+		if prev > 0 && math.Abs(mean-prev) <= relTol*prev {
+			res := n.Run(0, window, drainCap)
+			return res, w + 1
+		}
+		prev = mean
+	}
+	res := n.Run(0, window, drainCap)
+	return res, maxWindows + 1
+}
+
+// step advances the simulation by one cycle.
+func (n *Network) step() {
+	n.deliverEvents()
+	n.inject()
+	n.allocate()
+	n.now++
+}
+
+// deliverEvents processes the timing-wheel bucket for this cycle:
+// flit arrivals into input buffers and credit returns.
+func (n *Network) deliverEvents() {
+	slot := int(n.now) % len(n.wheel)
+	bucket := n.wheel[slot]
+	for i := range bucket {
+		ev := &bucket[i]
+		rt := &n.routers[ev.r]
+		if ev.flit != nil {
+			n.enqueue(rt, int(ev.port), int(ev.vc), ev.flit)
+			ev.flit = nil
+		} else {
+			rt.credits[(int(ev.port)-n.T.P)*n.Cfg.NumVCs+int(ev.vc)]++
+		}
+	}
+	n.wheel[slot] = bucket[:0]
+}
+
+// headEmpty marks an empty input buffer in the head cache.
+const headEmpty = 0xffff
+
+// sourceQueueCap bounds per-node source queues. A 512-deep queue at
+// any sustainable rate implies a queueing delay far above the
+// 500-cycle saturation threshold, so the cap cannot mask saturation;
+// it only bounds memory on deeply oversubscribed runs.
+const sourceQueueCap = 512
+
+// enqueue pushes a flit into an input buffer, maintaining occupancy
+// counters, scan masks and the head cache. PAR revision fires when
+// the flit becomes the buffer head (the point a progressive router
+// recomputes the route).
+func (n *Network) enqueue(rt *router, port, vc int, f *Flit) {
+	slot := port*n.Cfg.NumVCs + vc
+	q := &rt.in[slot]
+	q.push(f)
+	rt.inOcc[port]++
+	rt.flits++
+	rt.vcMask[port] |= 1 << vc
+	rt.portMask |= 1 << port
+	if q.len() == 1 {
+		n.refreshHead(rt, slot, f)
+	}
+}
+
+// dequeue pops the head of an input buffer, maintaining counters,
+// masks and the head cache.
+func (n *Network) dequeue(rt *router, port, vc int) *Flit {
+	slot := port*n.Cfg.NumVCs + vc
+	q := &rt.in[slot]
+	f := q.pop()
+	rt.inOcc[port]--
+	rt.flits--
+	if next := q.peek(); next != nil {
+		n.refreshHead(rt, slot, next)
+	} else {
+		rt.headCache[slot] = headEmpty
+		rt.vcMask[port] &^= 1 << vc
+		if rt.vcMask[port] == 0 {
+			rt.portMask &^= 1 << port
+		}
+	}
+	return f
+}
+
+// refreshHead runs pending PAR revision for a flit that just became
+// a buffer head and caches its decoded next hop.
+func (n *Network) refreshHead(rt *router, slot int, f *Flit) {
+	if f.Revisable && f.HopIdx > 0 {
+		n.routing.Revise(n, n.routeRNG, f, rt.id)
+		f.Revisable = false
+	}
+	hop := f.route()[f.HopIdx]
+	rt.headCache[slot] = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+}
+
+// schedule enqueues an event at now+delay.
+func (n *Network) schedule(delay int, ev event) {
+	slot := int(n.now+int64(delay)) % len(n.wheel)
+	n.wheel[slot] = append(n.wheel[slot], ev)
+}
+
+// inject generates new packets and moves source-queue heads into the
+// terminal input buffers of their switches, computing routes at that
+// moment from current queue state (the source-router decision).
+func (n *Network) inject() {
+	t := n.T
+	nodes := t.NumNodes()
+	for node := 0; node < nodes; node++ {
+		if gen := n.nextGen[node]; gen <= n.now {
+			// Far beyond saturation a source queue only adds latency
+			// that is already far past the saturation threshold;
+			// capping it bounds memory without changing any
+			// pre-saturation statistic. Generation is skipped but the
+			// queue keeps draining below.
+			if dst, ok := n.pattern.Dest(n.trafficRNG, node); ok && dst != node &&
+				n.nodeQ[node].len() < sourceQueueCap {
+				size := n.Cfg.PacketSize
+				head := n.allocFlit()
+				head.ID = n.nextID
+				n.nextID++
+				head.PktID = head.ID
+				head.Src, head.Dst = int32(node), int32(dst)
+				head.GenTime = gen
+				head.pending = int32(size)
+				head.IsTail = size == 1
+				if gen >= n.measBegin && gen < n.measEnd {
+					head.Measured = true
+					n.measCount++
+				}
+				n.nodeQ[node].push(head)
+				n.injected++
+				for k := 1; k < size; k++ {
+					b := n.allocFlit()
+					b.ID = n.nextID
+					n.nextID++
+					b.PktID = head.PktID
+					b.Src, b.Dst = head.Src, head.Dst
+					b.GenTime = gen
+					b.head = head
+					b.IsTail = k == size-1
+					n.nodeQ[node].push(b)
+					n.injected++
+				}
+			}
+			n.nextGen[node] = n.geomNext(gen)
+		}
+		q := &n.nodeQ[node]
+		if q.len() == 0 {
+			continue
+		}
+		sw := int32(t.SwitchOfNode(node))
+		rt := &n.routers[sw]
+		termPort := t.NodeIndex(node)
+		// Terminal channel: one flit per cycle into VC 0, bounded by
+		// the input buffer depth.
+		if rt.in[termPort*n.Cfg.NumVCs].len() >= n.Cfg.BufSize {
+			continue
+		}
+		f := q.pop()
+		f.InjTime = n.now
+		if f.head == nil {
+			// Head flit: compute the packet's route now, from
+			// current source-router state.
+			n.routing.SourceRoute(n, n.routeRNG, f)
+			if f.Measured {
+				n.measInj++
+				if !f.MinRouted {
+					n.measVLB++
+				}
+			}
+		}
+		n.enqueue(rt, termPort, 0, f)
+	}
+}
+
+// allocate performs switch allocation at every active router: up to
+// SpeedUp passes per cycle, one grant per input port per pass, one
+// flit per output channel per cycle, one ejection per terminal port
+// per cycle, credit-gated.
+func (n *Network) allocate() {
+	t := n.T
+	ports := t.Radix()
+	numVCs := n.Cfg.NumVCs
+	for swi := range n.routers {
+		rt := &n.routers[swi]
+		if rt.flits == 0 {
+			continue
+		}
+		var outUsed uint64
+		rt.rrPort++
+		rot := int(rt.rrPort) % ports
+		for pass := 0; pass < n.Cfg.SpeedUp; pass++ {
+			moved := false
+			// Scan occupied ports in rotated order: bits >= rot
+			// first, then the wrap-around.
+			for _, m := range [2]uint64{
+				rt.portMask &^ (1<<rot - 1),
+				rt.portMask & (1<<rot - 1),
+			} {
+				for m != 0 {
+					port := trailingZeros(m)
+					m &= m - 1
+					vcStart := (port + int(n.now)) % numVCs
+					for vi := 0; vi < numVCs; vi++ {
+						vc := (vcStart + vi) % numVCs
+						head := rt.headCache[port*numVCs+vc]
+						if head == headEmpty {
+							continue
+						}
+						out := int(head >> 8)
+						if outUsed&(1<<out) != 0 {
+							continue
+						}
+						if out < t.P {
+							// Ejection.
+							outUsed |= 1 << out
+							f := n.dequeue(rt, port, vc)
+							n.returnCredit(rt, port, vc)
+							n.deliver(f)
+						} else {
+							outVC := int(head & 0xff)
+							ci := (out-t.P)*numVCs + outVC
+							if rt.credits[ci] <= 0 {
+								continue
+							}
+							if rt.ovcOwner != nil {
+								// Wormhole: heads acquire a free
+								// output VC; body/tail flits may only
+								// follow their own packet.
+								f := rt.in[port*numVCs+vc].peek()
+								owner := rt.ovcOwner[ci]
+								if f.head == nil {
+									if owner != -1 {
+										continue
+									}
+								} else if owner != f.PktID {
+									continue
+								}
+							}
+							outUsed |= 1 << out
+							rt.credits[ci]--
+							f := n.dequeue(rt, port, vc)
+							n.returnCredit(rt, port, vc)
+							f.HopIdx++
+							if rt.ovcOwner != nil {
+								if f.IsTail {
+									rt.ovcOwner[ci] = -1
+								} else if f.head == nil {
+									rt.ovcOwner[ci] = f.PktID
+								}
+							}
+							peer := rt.outPeer[out-t.P]
+							n.schedule(int(rt.outLat[out-t.P]), event{
+								flit: f, r: peer.r, port: peer.port, vc: int8(outVC),
+							})
+							if n.chanCount != nil && n.now >= n.measBegin && n.now < n.measEnd {
+								n.chanCount[swi*(ports-t.P)+out-t.P]++
+							}
+						}
+						moved = true
+						break
+					}
+				}
+			}
+			if !moved {
+				break
+			}
+		}
+	}
+}
+
+// trailingZeros aliases the hardware count-trailing-zeros intrinsic.
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
+
+// returnCredit sends a credit for the freed input slot back to the
+// upstream router (no-op for terminal inputs).
+func (n *Network) returnCredit(rt *router, port, vc int) {
+	up := rt.inChan[port]
+	if up.r < 0 {
+		return
+	}
+	// Reverse channel has the same latency as the forward one.
+	lat := n.routers[up.r].outLat[int(up.port)-n.T.P]
+	n.schedule(int(lat), event{r: up.r, port: up.port, vc: int8(vc)})
+}
+
+// deliver ejects a flit at its destination and records statistics.
+// Packet-level statistics (latency, throughput) are recorded at the
+// tail flit; single-flit packets are their own head and tail.
+func (n *Network) deliver(f *Flit) {
+	n.delivered++
+	n.lastDeliver = n.now
+	head := f.head
+	if head == nil {
+		head = f
+	}
+	head.pending--
+	if f.IsTail || n.Cfg.PacketSize == 1 {
+		if n.now >= n.measBegin && n.now < n.measEnd {
+			n.deliveredIn++
+		}
+		if head.Measured {
+			n.measDeliv++
+			lat := float64(n.now - head.GenTime)
+			n.measLatency.Add(lat)
+			n.measHist.Add(lat)
+			n.measHops.Add(float64(f.HopIdx))
+		}
+	}
+	if f != head {
+		n.freeFlit(f)
+	}
+	if head.pending <= 0 {
+		n.freeFlit(head)
+	}
+}

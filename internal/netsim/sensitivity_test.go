@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"testing"
+
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Parameter-sensitivity integration tests: the simulator must react
+// to each Table-3 parameter in the physically expected direction —
+// the properties behind the paper's Figures 15-17.
+
+func runWith(t *testing.T, cfg Config, rate float64) RunResult {
+	t.Helper()
+	tp := topo.MustNew(2, 4, 2, 9)
+	n := New(tp, cfg, minRouter{tp}, traffic.Shift{T: tp, DG: 1, DS: 0}, rate)
+	return n.Run(2000, 1500, 3000)
+}
+
+// TestLinkLatencyScalesZeroLoad: quadrupling channel latencies must
+// roughly quadruple the zero-load latency (Figure 15's left side).
+func TestLinkLatencyScalesZeroLoad(t *testing.T) {
+	base := DefaultConfig()
+	slow := DefaultConfig()
+	slow.LocalLatency, slow.GlobalLatency = 40, 60
+	rb := runWith(t, base, 0.02)
+	rs := runWith(t, slow, 0.02)
+	if rb.Saturated || rs.Saturated {
+		t.Fatal("saturated at 2% load")
+	}
+	ratio := rs.AvgLatency / rb.AvgLatency
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Fatalf("latency ratio %.2f (%.1f vs %.1f), want ~4", ratio, rs.AvgLatency, rb.AvgLatency)
+	}
+}
+
+// TestSmallBuffersHurtThroughput: an 8-flit buffer cannot cover the
+// credit round trip of a 15-cycle global channel, so accepted
+// throughput under load must drop versus 32-flit buffers (Figure 16).
+func TestSmallBuffersHurtThroughput(t *testing.T) {
+	big := DefaultConfig()
+	small := DefaultConfig()
+	small.BufSize = 4
+	rb := runWith(t, big, 0.12)
+	rs := runWith(t, small, 0.12)
+	if rs.Throughput > rb.Throughput+0.005 {
+		t.Fatalf("small buffers outperformed: %.4f vs %.4f", rs.Throughput, rb.Throughput)
+	}
+}
+
+// TestSpeedupHelpsUnderLoad: speedup 2 must not deliver less than
+// speedup 1 at the same offered load (Figure 17).
+func TestSpeedupHelpsUnderLoad(t *testing.T) {
+	s2 := DefaultConfig()
+	s1 := DefaultConfig()
+	s1.SpeedUp = 1
+	r2 := runWith(t, s2, 0.12)
+	r1 := runWith(t, s1, 0.12)
+	if r2.Throughput < r1.Throughput-0.005 {
+		t.Fatalf("speedup 2 below speedup 1: %.4f vs %.4f", r2.Throughput, r1.Throughput)
+	}
+}
+
+// TestPercentilesOrdered: P50 <= mean-ish <= P99 and all populated.
+func TestPercentilesOrdered(t *testing.T) {
+	r := runWith(t, DefaultConfig(), 0.1)
+	if r.P50Latency <= 0 || r.P99Latency <= 0 {
+		t.Fatalf("percentiles missing: %+v", r)
+	}
+	if r.P50Latency > r.P99Latency {
+		t.Fatalf("P50 %.1f > P99 %.1f", r.P50Latency, r.P99Latency)
+	}
+	if r.AvgLatency < r.P50Latency/2 || r.AvgLatency > r.P99Latency*2 {
+		t.Fatalf("mean %.1f inconsistent with P50 %.1f / P99 %.1f",
+			r.AvgLatency, r.P50Latency, r.P99Latency)
+	}
+}
+
+// TestChannelStats: under adversarial MIN traffic the direct global
+// links between communicating group pairs run hot while most other
+// channels idle, so GlobalMaxOverMean must be large; utilizations
+// must stay within [0, 1].
+func TestChannelStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectChanStats = true
+	r := runWith(t, cfg, 0.1)
+	cs := r.Channels
+	if cs == nil {
+		t.Fatal("channel stats missing")
+	}
+	for _, u := range []float64{cs.LocalMax, cs.GlobalMax} {
+		if u < 0 || u > 1.0+1e-9 {
+			t.Fatalf("utilization %v outside [0,1]", u)
+		}
+	}
+	if cs.GlobalMax <= cs.GlobalMean {
+		t.Fatalf("adversarial traffic should load global links unevenly: max %.3f mean %.3f",
+			cs.GlobalMax, cs.GlobalMean)
+	}
+	if cs.GlobalMaxOverMean < 1.5 {
+		t.Fatalf("imbalance %.2f too low for MIN on shift", cs.GlobalMaxOverMean)
+	}
+	// Disabled by default.
+	r2 := runWith(t, DefaultConfig(), 0.05)
+	if r2.Channels != nil {
+		t.Fatal("channel stats collected without the flag")
+	}
+}
+
+// TestRunConverged: the adaptive methodology stabilizes quickly at a
+// steady low load and agrees with the fixed-window result.
+func TestRunConverged(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	cfg := DefaultConfig()
+	n := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0.1)
+	res, windows := n.RunConverged(1000, 1000, 0.05, 8, 2000)
+	if res.Saturated {
+		t.Fatal("saturated at 10% uniform load")
+	}
+	if windows < 3 || windows > 9 {
+		t.Fatalf("windows %d out of range", windows)
+	}
+	// Compare with a fresh fixed-window run.
+	n2 := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0.1)
+	fixed := n2.Run(3000, 1000, 2000)
+	if res.AvgLatency < fixed.AvgLatency*0.8 || res.AvgLatency > fixed.AvgLatency*1.2 {
+		t.Fatalf("converged %.1f vs fixed %.1f", res.AvgLatency, fixed.AvgLatency)
+	}
+}
+
+// TestMoreVCsNeverDeadlock: generous VC budgets keep working.
+func TestMoreVCsNeverDeadlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumVCs = 8
+	r := runWith(t, cfg, 0.1)
+	if r.Saturated || r.Throughput < 0.08 {
+		t.Fatalf("8-VC run misbehaved: %+v", r)
+	}
+}

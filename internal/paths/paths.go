@@ -1,0 +1,388 @@
+// Package paths enumerates and samples the MIN and VLB paths of a
+// Dragonfly topology and defines the candidate-path policies that
+// distinguish conventional UGAL (all VLB paths) from T-UGAL (a
+// topology-custom subset, T-VLB).
+//
+// Terminology follows the paper: hop counts are switch-to-switch hops
+// (terminal links are not counted), a MIN path uses at most one global
+// link (1-3 hops between groups, 1 hop within a group, 0 hops on the
+// same switch), and a VLB path is a MIN path to an intermediate switch
+// outside the source and destination groups followed by a MIN path to
+// the destination (2-6 hops). For source and destination in the same
+// group, the non-minimal path detours through another switch of the
+// group (2 hops).
+package paths
+
+import (
+	"fmt"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// MaxVLBHops is the longest possible VLB path on any Dragonfly.
+const MaxVLBHops = 6
+
+// Path is a concrete route: a switch sequence plus the out-port taken
+// at each switch. Ports disambiguate parallel global links between the
+// same pair of switches, which exist whenever h > g-1.
+type Path struct {
+	Sw    []int32 // switches visited, len = Hops()+1
+	Ports []int8  // Ports[i] is the out-port at Sw[i] toward Sw[i+1]
+}
+
+// Hops returns the switch-to-switch hop count.
+func (p Path) Hops() int { return len(p.Ports) }
+
+// Src returns the first switch.
+func (p Path) Src() int { return int(p.Sw[0]) }
+
+// Dst returns the last switch.
+func (p Path) Dst() int { return int(p.Sw[len(p.Sw)-1]) }
+
+// Key folds the path identity (switches and ports) into a stable
+// 64-bit hash, used for implicit subset membership and removal sets.
+// Allocation-free: it runs on every rejection sample in restricted
+// policies.
+func (p Path) Key() uint64 {
+	h := rng.HashSeed
+	for i, sw := range p.Sw {
+		h = rng.Mix(h, uint64(sw))
+		if i < len(p.Ports) {
+			h = rng.Mix(h, uint64(uint8(p.Ports[i])))
+		}
+	}
+	return h
+}
+
+// Clone returns a deep copy.
+func (p Path) Clone() Path {
+	return Path{
+		Sw:    append([]int32(nil), p.Sw...),
+		Ports: append([]int8(nil), p.Ports...),
+	}
+}
+
+// Equal reports identity of switches and ports.
+func (p Path) Equal(q Path) bool {
+	if len(p.Sw) != len(q.Sw) {
+		return false
+	}
+	for i := range p.Sw {
+		if p.Sw[i] != q.Sw[i] {
+			return false
+		}
+	}
+	for i := range p.Ports {
+		if p.Ports[i] != q.Ports[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Path) String() string {
+	return fmt.Sprintf("path%v", p.Sw)
+}
+
+// GlobalHops counts the global links on the path.
+func GlobalHops(t *topo.Topology, p Path) int {
+	n := 0
+	for _, pt := range p.Ports {
+		if t.KindOfPort(int(pt)) == topo.Global {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks that the path is structurally sound: every hop uses
+// a port of the stated kind that actually reaches the next switch.
+func Validate(t *topo.Topology, p Path) error {
+	if len(p.Sw) == 0 {
+		return fmt.Errorf("paths: empty path")
+	}
+	if len(p.Ports) != len(p.Sw)-1 {
+		return fmt.Errorf("paths: %d ports for %d switches", len(p.Ports), len(p.Sw))
+	}
+	for i, pt := range p.Ports {
+		u, v := int(p.Sw[i]), int(p.Sw[i+1])
+		if t.KindOfPort(int(pt)) == topo.Terminal {
+			return fmt.Errorf("paths: hop %d uses terminal port %d", i, pt)
+		}
+		if got := t.PeerOfPort(u, int(pt)); got != v {
+			return fmt.Errorf("paths: hop %d port %d of switch %d reaches %d, path says %d", i, pt, u, got, v)
+		}
+	}
+	return nil
+}
+
+// ValidateMin additionally checks the MIN property (<=1 global hop).
+func ValidateMin(t *topo.Topology, p Path) error {
+	if err := Validate(t, p); err != nil {
+		return err
+	}
+	if GlobalHops(t, p) > 1 {
+		return fmt.Errorf("paths: MIN path with %d global hops", GlobalHops(t, p))
+	}
+	return nil
+}
+
+// ValidateVLB additionally checks the VLB shape: <=2 global hops and
+// hop count in [2, 6]. A VLB path may legitimately revisit one switch
+// — when both legs' group-pair connector in the intermediate group is
+// the same switch (always the case with one link per group pair, as
+// on maximal Dragonflies), the path hairpins through it — but it may
+// never use the same directed channel twice.
+func ValidateVLB(t *topo.Topology, p Path) error {
+	if err := Validate(t, p); err != nil {
+		return err
+	}
+	if g := GlobalHops(t, p); g > 2 {
+		return fmt.Errorf("paths: VLB path with %d global hops", g)
+	}
+	if h := p.Hops(); h < 2 || h > MaxVLBHops {
+		return fmt.Errorf("paths: VLB path with %d hops", h)
+	}
+	seen := make(map[int64]bool, len(p.Ports))
+	for i, pt := range p.Ports {
+		key := int64(p.Sw[i])<<8 | int64(pt)
+		if seen[key] {
+			return fmt.Errorf("paths: VLB path reuses channel (%d, port %d)", p.Sw[i], pt)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// EnumerateMin returns every MIN path from switch s to switch d.
+// Same switch: one zero-hop path. Same group: the single local hop.
+// Different groups: one path per global link between the groups
+// (1-3 hops depending on whether s/d host the link endpoints).
+func EnumerateMin(t *topo.Topology, s, d int) []Path {
+	if s == d {
+		return []Path{{Sw: []int32{int32(s)}}}
+	}
+	if t.SameGroup(s, d) {
+		return []Path{{
+			Sw:    []int32{int32(s), int32(d)},
+			Ports: []int8{int8(t.LocalPort(s, d))},
+		}}
+	}
+	links := t.LinksBetweenGroups(t.GroupOf(s), t.GroupOf(d))
+	out := make([]Path, 0, len(links))
+	for _, l := range links {
+		out = append(out, minViaLink(t, s, d, l))
+	}
+	return out
+}
+
+// minViaLink builds the MIN path s -> (link.From) -> (link.To) -> d.
+func minViaLink(t *topo.Topology, s, d int, l topo.GlobalLink) Path {
+	p := Path{Sw: make([]int32, 0, 4), Ports: make([]int8, 0, 3)}
+	p.Sw = append(p.Sw, int32(s))
+	u, v := int(l.From), int(l.To)
+	if u != s {
+		p.Ports = append(p.Ports, int8(t.LocalPort(s, u)))
+		p.Sw = append(p.Sw, int32(u))
+	}
+	p.Ports = append(p.Ports, int8(t.GlobalPort(int(l.FromPort))))
+	p.Sw = append(p.Sw, int32(v))
+	if v != d {
+		p.Ports = append(p.Ports, int8(t.LocalPort(v, d)))
+		p.Sw = append(p.Sw, int32(d))
+	}
+	return p
+}
+
+// join concatenates two MIN legs meeting at an intermediate switch.
+// Switch revisits are allowed — a VLB path hairpins through the
+// intermediate group's connector switch whenever both legs attach to
+// it, which is the common case on topologies with one link per group
+// pair — but a join that would reuse a directed channel is rejected
+// (cannot arise from two MIN legs of disjoint group pairs, so ok is
+// always true today; the check guards future arrangement variants).
+func join(leg1, leg2 Path) (Path, bool) {
+	n := len(leg1.Ports) + len(leg2.Ports)
+	p := Path{
+		Sw:    make([]int32, 0, n+1),
+		Ports: make([]int8, 0, n),
+	}
+	p.Sw = append(append(p.Sw, leg1.Sw...), leg2.Sw[1:]...)
+	p.Ports = append(append(p.Ports, leg1.Ports...), leg2.Ports...)
+	// A VLB path has at most 6 hops: the quadratic duplicate-channel
+	// check beats any allocation.
+	for i := range p.Ports {
+		for j := i + 1; j < len(p.Ports); j++ {
+			if p.Sw[i] == p.Sw[j] && p.Ports[i] == p.Ports[j] {
+				return Path{}, false
+			}
+		}
+	}
+	return p, true
+}
+
+// EnumerateVLB returns every VLB path from s to d: all loop-free
+// combinations of MIN(s,i) and MIN(i,d) over intermediates i outside
+// both endpoint groups. For a same-group pair it returns the 2-hop
+// in-group detours. Same-switch pairs have no VLB paths.
+func EnumerateVLB(t *topo.Topology, s, d int) []Path {
+	if s == d {
+		return nil
+	}
+	var out []Path
+	if t.SameGroup(s, d) {
+		g := t.GroupOf(s)
+		for i := 0; i < t.A; i++ {
+			m := t.SwitchID(g, i)
+			if m == s || m == d {
+				continue
+			}
+			out = append(out, Path{
+				Sw:    []int32{int32(s), int32(m), int32(d)},
+				Ports: []int8{int8(t.LocalPort(s, m)), int8(t.LocalPort(m, d))},
+			})
+		}
+		return out
+	}
+	gs, gd := t.GroupOf(s), t.GroupOf(d)
+	for gi := 0; gi < t.G; gi++ {
+		if gi == gs || gi == gd {
+			continue
+		}
+		for si := 0; si < t.A; si++ {
+			inter := t.SwitchID(gi, si)
+			legs1 := EnumerateMin(t, s, inter)
+			legs2 := EnumerateMin(t, inter, d)
+			for _, l1 := range legs1 {
+				for _, l2 := range legs2 {
+					if p, ok := join(l1, l2); ok {
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountVLBByHops histograms the full VLB path set of a pair by hop
+// count; index i holds the number of i-hop paths.
+func CountVLBByHops(t *topo.Topology, s, d int) [MaxVLBHops + 1]int {
+	var hist [MaxVLBHops + 1]int
+	for _, p := range EnumerateVLB(t, s, d) {
+		hist[p.Hops()]++
+	}
+	return hist
+}
+
+// SampleMin draws a uniformly random MIN path for the pair, matching
+// UGAL's single random MIN candidate.
+func SampleMin(t *topo.Topology, r *rng.Source, s, d int) Path {
+	var p Path
+	SampleMinInto(t, r, s, d, &p)
+	return p
+}
+
+// SampleMinInto is SampleMin writing into dst's backing storage —
+// the simulator's per-packet hot path.
+func SampleMinInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) {
+	dst.Sw = append(dst.Sw[:0], int32(s))
+	dst.Ports = dst.Ports[:0]
+	if s == d {
+		return
+	}
+	if t.SameGroup(s, d) {
+		dst.Sw = append(dst.Sw, int32(d))
+		dst.Ports = append(dst.Ports, int8(t.LocalPort(s, d)))
+		return
+	}
+	links := t.LinksBetweenGroups(t.GroupOf(s), t.GroupOf(d))
+	l := links[r.Intn(len(links))]
+	u, v := int(l.From), int(l.To)
+	if u != s {
+		dst.Ports = append(dst.Ports, int8(t.LocalPort(s, u)))
+		dst.Sw = append(dst.Sw, int32(u))
+	}
+	dst.Ports = append(dst.Ports, int8(t.GlobalPort(int(l.FromPort))))
+	dst.Sw = append(dst.Sw, int32(v))
+	if v != d {
+		dst.Ports = append(dst.Ports, int8(t.LocalPort(v, d)))
+		dst.Sw = append(dst.Sw, int32(d))
+	}
+}
+
+// sampleVLBOnceInto draws one random (intermediate, leg, leg)
+// combination exactly as conventional UGAL does — uniform
+// intermediate switch outside both groups, then a uniform MIN leg on
+// each side — writing into dst's backing storage. ok=false when the
+// topology offers no intermediate (g<3 for inter-group, a<3 for
+// intra-group). Because the two legs live in disjoint group pairs, a
+// sampled path can never reuse a directed channel, so no join check
+// is needed (the enumerator's join keeps one for generality).
+func sampleVLBOnceInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) bool {
+	if s == d {
+		return false
+	}
+	dst.Sw = append(dst.Sw[:0], int32(s))
+	dst.Ports = dst.Ports[:0]
+	if t.SameGroup(s, d) {
+		if t.A < 3 {
+			return false
+		}
+		g := t.GroupOf(s)
+		for {
+			m := t.SwitchID(g, r.Intn(t.A))
+			if m == s || m == d {
+				continue
+			}
+			dst.Sw = append(dst.Sw, int32(m), int32(d))
+			dst.Ports = append(dst.Ports, int8(t.LocalPort(s, m)), int8(t.LocalPort(m, d)))
+			return true
+		}
+	}
+	if t.G < 3 {
+		return false
+	}
+	gs, gd := t.GroupOf(s), t.GroupOf(d)
+	var gi int
+	for {
+		gi = r.Intn(t.G)
+		if gi != gs && gi != gd {
+			break
+		}
+	}
+	inter := t.SwitchID(gi, r.Intn(t.A))
+	links1 := t.LinksBetweenGroups(gs, gi)
+	links2 := t.LinksBetweenGroups(gi, gd)
+	l1 := links1[r.Intn(len(links1))]
+	l2 := links2[r.Intn(len(links2))]
+	cur := s
+	hop := func(to int, port int) {
+		dst.Sw = append(dst.Sw, int32(to))
+		dst.Ports = append(dst.Ports, int8(port))
+		cur = to
+	}
+	if int(l1.From) != cur {
+		hop(int(l1.From), t.LocalPort(cur, int(l1.From)))
+	}
+	hop(int(l1.To), t.GlobalPort(int(l1.FromPort)))
+	if inter != cur {
+		hop(inter, t.LocalPort(cur, inter))
+	}
+	if int(l2.From) != cur {
+		hop(int(l2.From), t.LocalPort(cur, int(l2.From)))
+	}
+	hop(int(l2.To), t.GlobalPort(int(l2.FromPort)))
+	if d != cur {
+		hop(d, t.LocalPort(cur, d))
+	}
+	return true
+}
+
+// sampleVLBOnce is sampleVLBOnceInto into a fresh Path.
+func sampleVLBOnce(t *topo.Topology, r *rng.Source, s, d int) (Path, bool) {
+	var p Path
+	ok := sampleVLBOnceInto(t, r, s, d, &p)
+	return p, ok
+}

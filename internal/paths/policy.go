@@ -1,0 +1,339 @@
+package paths
+
+import (
+	"fmt"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// Policy is a candidate-VLB-path set: the only thing T-UGAL changes
+// relative to conventional UGAL. SampleVLB must draw candidates the
+// way the router would at packet-injection time; Enumerate/Contains
+// expose the same set to the throughput model and to the
+// load-balance analysis of Algorithm 1 Step 2.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// SampleVLBInto draws one candidate VLB path for the pair into
+	// dst's backing storage; ok=false when the policy has no VLB
+	// path for it (then UGAL degenerates to MIN for the pair). This
+	// is the simulator's per-packet hot path.
+	SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool
+	// SampleVLB is SampleVLBInto into a fresh Path.
+	SampleVLB(r *rng.Source, s, d int) (Path, bool)
+	// Enumerate lists every VLB path of the pair under the policy.
+	// Intended for analysis on small/medium topologies.
+	Enumerate(s, d int) []Path
+	// Contains reports whether p (a valid VLB path of the pair) is in
+	// the policy's set.
+	Contains(s, d int, p Path) bool
+}
+
+// sampleAttempts bounds rejection sampling in restricted policies.
+// If no allowed path is found within the budget, the shortest path
+// seen is used; with the configurations Algorithm 1 actually emits,
+// acceptance is high and the fallback is statistically irrelevant.
+const sampleAttempts = 64
+
+// Full is conventional UGAL's policy: every VLB path is a candidate.
+type Full struct {
+	T *topo.Topology
+}
+
+// Name implements Policy.
+func (f Full) Name() string { return "VLB-all" }
+
+// SampleVLBInto implements Policy.
+func (f Full) SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool {
+	return sampleVLBOnceInto(f.T, r, s, d, dst)
+}
+
+// SampleVLB implements Policy.
+func (f Full) SampleVLB(r *rng.Source, s, d int) (Path, bool) {
+	var p Path
+	ok := f.SampleVLBInto(r, s, d, &p)
+	return p, ok
+}
+
+// Enumerate implements Policy.
+func (f Full) Enumerate(s, d int) []Path { return EnumerateVLB(f.T, s, d) }
+
+// Contains implements Policy.
+func (f Full) Contains(_, _ int, _ Path) bool { return true }
+
+// LengthCapped is the Table 1 family of data points: all VLB paths of
+// at most MaxHops hops, plus a pseudo-random fraction Frac of the
+// (MaxHops+1)-hop paths. Membership of a (MaxHops+1)-hop path is
+// decided by a stable hash of (Seed, path identity), so the subset is
+// consistent across processes without storing it — the mechanism that
+// lets T-VLB scale to dfly(13,26,13,27) without materializing half a
+// billion paths.
+type LengthCapped struct {
+	T       *topo.Topology
+	MaxHops int     // all paths with <= MaxHops hops are in
+	Frac    float64 // fraction of (MaxHops+1)-hop paths included
+	Seed    uint64  // subset selector
+}
+
+// Name implements Policy.
+func (l LengthCapped) Name() string {
+	if l.Frac == 0 {
+		return fmt.Sprintf("<=%d-hop", l.MaxHops)
+	}
+	return fmt.Sprintf("<=%d-hop+%d%%%d-hop", l.MaxHops, int(l.Frac*100+0.5), l.MaxHops+1)
+}
+
+// allows reports membership for a path of the pair.
+func (l LengthCapped) allows(p Path) bool {
+	h := p.Hops()
+	switch {
+	case h <= l.MaxHops:
+		return true
+	case h == l.MaxHops+1 && l.Frac > 0:
+		return rng.Float01(rng.Mix(rng.Mix(rng.HashSeed, l.Seed), p.Key())) < l.Frac
+	default:
+		return false
+	}
+}
+
+// SampleVLBInto implements Policy by rejection from the conventional
+// sampler, preserving UGAL's intermediate-selection behaviour on the
+// allowed subset. When no allowed path is drawn within the attempt
+// budget, the shortest path seen is used so the router still has a
+// non-minimal escape (matching UGAL's liveness).
+func (l LengthCapped) SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool {
+	var best Path
+	found := false
+	for a := 0; a < sampleAttempts; a++ {
+		if !sampleVLBOnceInto(l.T, r, s, d, dst) {
+			return false
+		}
+		if l.allows(*dst) {
+			return true
+		}
+		if !found || dst.Hops() < best.Hops() {
+			best = dst.Clone() // fallback bookkeeping; rare in practice
+			found = true
+		}
+	}
+	dst.Sw = append(dst.Sw[:0], best.Sw...)
+	dst.Ports = append(dst.Ports[:0], best.Ports...)
+	return found
+}
+
+// SampleVLB implements Policy.
+func (l LengthCapped) SampleVLB(r *rng.Source, s, d int) (Path, bool) {
+	var p Path
+	ok := l.SampleVLBInto(r, s, d, &p)
+	return p, ok
+}
+
+// Enumerate implements Policy.
+func (l LengthCapped) Enumerate(s, d int) []Path {
+	all := EnumerateVLB(l.T, s, d)
+	out := all[:0]
+	for _, p := range all {
+		if l.allows(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (l LengthCapped) Contains(_, _ int, p Path) bool { return l.allows(p) }
+
+// Strategic is the Step-2 deterministic expansion for the 50% 5-hop
+// vicinity: all VLB paths of at most 4 hops, plus exactly the 5-hop
+// paths decomposable as a FirstLeg-hop MIN leg followed by a
+// (5-FirstLeg)-hop MIN leg. FirstLeg is 2 or 3; the two choices are
+// the paper's "all 2-hop MIN followed by 3-hop MIN" and its mirror.
+type Strategic struct {
+	T        *topo.Topology
+	FirstLeg int
+}
+
+// Name implements Policy.
+func (s Strategic) Name() string {
+	return fmt.Sprintf("strategic-%d+%d", s.FirstLeg, 5-s.FirstLeg)
+}
+
+// legSplits returns the valid (first leg, second leg) hop-length
+// decompositions of a VLB path: splits at an intermediate-group
+// switch where both halves have a legal MIN shape (at most one local
+// hop, one global hop, at most one local hop). The distinction
+// matters: a "g l l g l" path is only a 2-hop-MIN + 3-hop-MIN
+// composition, while "l g l g l" decomposes both as 2+3 and 3+2.
+func legSplits(t *topo.Topology, p Path) [][2]int {
+	var out [][2]int
+	if p.Hops() < 2 {
+		return out
+	}
+	if t.SameGroup(p.Src(), p.Dst()) {
+		// In-group detour: the middle switch splits 1+1.
+		return append(out, [2]int{1, p.Hops() - 1})
+	}
+	gs := t.GroupOf(p.Src())
+	gd := t.GroupOf(p.Dst())
+	for i, sw := range p.Sw {
+		g := t.GroupOf(int(sw))
+		if g != gs && g != gd &&
+			minShape(t, p.Ports[:i]) && minShape(t, p.Ports[i:]) {
+			out = append(out, [2]int{i, p.Hops() - i})
+		}
+	}
+	return out
+}
+
+// minShape reports whether a hop sequence has the inter-group MIN
+// form (l?) g (l?): exactly one global hop, at most one local hop on
+// each side.
+func minShape(t *topo.Topology, ports []int8) bool {
+	if len(ports) < 1 || len(ports) > 3 {
+		return false
+	}
+	gAt := -1
+	for i, pt := range ports {
+		if t.KindOfPort(int(pt)) == topo.Global {
+			if gAt >= 0 {
+				return false
+			}
+			gAt = i
+		}
+	}
+	return gAt >= 0 && gAt <= 1 && len(ports)-1-gAt <= 1
+}
+
+// allows reports membership.
+func (s Strategic) allows(src, dst int, p Path) bool {
+	h := p.Hops()
+	if h <= 4 {
+		return true
+	}
+	if h != 5 {
+		return false
+	}
+	for _, split := range legSplits(s.T, p) {
+		if split[0] == s.FirstLeg {
+			return true
+		}
+	}
+	return false
+}
+
+// SampleVLBInto implements Policy.
+func (s Strategic) SampleVLBInto(r *rng.Source, src, dst int, out *Path) bool {
+	var best Path
+	found := false
+	for a := 0; a < sampleAttempts; a++ {
+		if !sampleVLBOnceInto(s.T, r, src, dst, out) {
+			return false
+		}
+		if s.allows(src, dst, *out) {
+			return true
+		}
+		if !found || out.Hops() < best.Hops() {
+			best = out.Clone()
+			found = true
+		}
+	}
+	out.Sw = append(out.Sw[:0], best.Sw...)
+	out.Ports = append(out.Ports[:0], best.Ports...)
+	return found
+}
+
+// SampleVLB implements Policy.
+func (s Strategic) SampleVLB(r *rng.Source, src, dst int) (Path, bool) {
+	var p Path
+	ok := s.SampleVLBInto(r, src, dst, &p)
+	return p, ok
+}
+
+// Enumerate implements Policy.
+func (s Strategic) Enumerate(src, dst int) []Path {
+	all := EnumerateVLB(s.T, src, dst)
+	out := all[:0]
+	for _, p := range all {
+		if s.allows(src, dst, p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (s Strategic) Contains(src, dst int, p Path) bool { return s.allows(src, dst, p) }
+
+// Explicit wraps any base policy with a removal set, the output of
+// Algorithm 1's load-balance adjustment ("removing paths that cause
+// high link usage probability"). Removed paths are identified by
+// Path.Key.
+type Explicit struct {
+	Base    Policy
+	Removed map[uint64]bool
+	// label overrides the derived name when non-empty.
+	Label string
+}
+
+// NewExplicit wraps base with an empty removal set.
+func NewExplicit(base Policy) *Explicit {
+	return &Explicit{Base: base, Removed: make(map[uint64]bool)}
+}
+
+// Remove excludes a path from the set.
+func (e *Explicit) Remove(p Path) { e.Removed[p.Key()] = true }
+
+// Name implements Policy.
+func (e *Explicit) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return fmt.Sprintf("%s-minus-%d", e.Base.Name(), len(e.Removed))
+}
+
+// SampleVLBInto implements Policy.
+func (e *Explicit) SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool {
+	if len(e.Removed) == 0 {
+		return e.Base.SampleVLBInto(r, s, d, dst)
+	}
+	for a := 0; a < sampleAttempts; a++ {
+		if !e.Base.SampleVLBInto(r, s, d, dst) {
+			return false
+		}
+		if !e.Removed[dst.Key()] {
+			return true
+		}
+	}
+	// Every draw hit the removal set: keep the last draw — the
+	// balance adjustment never empties a pair's path set, so this is
+	// a biased-but-live fallback.
+	return true
+}
+
+// SampleVLB implements Policy.
+func (e *Explicit) SampleVLB(r *rng.Source, s, d int) (Path, bool) {
+	var p Path
+	ok := e.SampleVLBInto(r, s, d, &p)
+	return p, ok
+}
+
+// Enumerate implements Policy.
+func (e *Explicit) Enumerate(s, d int) []Path {
+	all := e.Base.Enumerate(s, d)
+	if len(e.Removed) == 0 {
+		return all
+	}
+	out := all[:0]
+	for _, p := range all {
+		if !e.Removed[p.Key()] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Contains implements Policy.
+func (e *Explicit) Contains(s, d int, p Path) bool {
+	return e.Base.Contains(s, d, p) && !e.Removed[p.Key()]
+}

@@ -1,0 +1,145 @@
+package paths
+
+import (
+	"testing"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+func TestLegSplits(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	// Build a concrete 5-hop path of shape "l g l g l" via
+	// enumeration and check its decompositions.
+	s, d := 0, tp.SwitchID(5, 3)
+	var lglgl, gllgl Path
+	for _, p := range EnumerateVLB(tp, s, d) {
+		if p.Hops() != 5 {
+			continue
+		}
+		kinds := make([]topo.PortKind, 5)
+		for i, pt := range p.Ports {
+			kinds[i] = tp.KindOfPort(int(pt))
+		}
+		switch {
+		case kinds[0] == topo.Local && kinds[1] == topo.Global &&
+			kinds[2] == topo.Local && kinds[3] == topo.Global && lglgl.Sw == nil:
+			lglgl = p
+		case kinds[0] == topo.Global && kinds[1] == topo.Local &&
+			kinds[2] == topo.Local && gllgl.Sw == nil:
+			gllgl = p
+		}
+	}
+	if lglgl.Sw == nil {
+		t.Fatal("no l-g-l-g-l path found")
+	}
+	splits := legSplits(tp, lglgl)
+	has := func(sp [2]int) bool {
+		for _, s := range splits {
+			if s == sp {
+				return true
+			}
+		}
+		return false
+	}
+	// "l g l g l" decomposes both as 2+3 and 3+2.
+	if !has([2]int{2, 3}) || !has([2]int{3, 2}) {
+		t.Fatalf("lglgl splits %v, want both 2+3 and 3+2", splits)
+	}
+	if gllgl.Sw != nil {
+		// "g l l g l" is only a 2+3 composition.
+		sp := legSplits(tp, gllgl)
+		if len(sp) != 1 || sp[0] != [2]int{2, 3} {
+			t.Fatalf("gllgl splits %v, want only 2+3", sp)
+		}
+	}
+}
+
+func TestMinShape(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	s, d := 0, tp.SwitchID(3, 5)
+	for _, p := range EnumerateMin(tp, s, d) {
+		if !minShape(tp, p.Ports) {
+			t.Fatalf("MIN path rejected by minShape: %v", p)
+		}
+	}
+	// Two locals before a global is not a MIN shape.
+	local := int8(tp.LocalPort(0, 1))
+	local2 := int8(tp.LocalPort(1, 2))
+	global := int8(tp.GlobalPort(0))
+	if minShape(tp, []int8{local, local2, global}) {
+		t.Fatal("l-l-g accepted as MIN shape")
+	}
+	if minShape(tp, []int8{local}) {
+		t.Fatal("pure-local accepted as inter-group MIN shape")
+	}
+}
+
+func TestGlobalHops(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	s, d := 0, tp.SwitchID(4, 2)
+	for _, p := range EnumerateMin(tp, s, d) {
+		if GlobalHops(tp, p) != 1 {
+			t.Fatalf("MIN global hops %d", GlobalHops(tp, p))
+		}
+	}
+	for _, p := range EnumerateVLB(tp, s, d) {
+		if g := GlobalHops(tp, p); g != 2 {
+			t.Fatalf("inter-group VLB global hops %d", g)
+		}
+	}
+}
+
+func TestPathCloneEqual(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	p := EnumerateMin(tp, 0, tp.SwitchID(3, 1))[0]
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Fatal("clone not equal")
+	}
+	q.Ports[0]++
+	if p.Equal(q) {
+		t.Fatal("mutated clone still equal")
+	}
+	if p.Equal(Path{Sw: p.Sw[:1]}) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestSampleMinIntoReusesStorage(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	r := rng.New(3)
+	var buf Path
+	SampleMinInto(tp, r, 0, tp.SwitchID(4, 2), &buf)
+	sw0 := &buf.Sw[0]
+	for i := 0; i < 50; i++ {
+		SampleMinInto(tp, r, 0, tp.SwitchID(4, 2), &buf)
+		if err := ValidateMin(tp, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &buf.Sw[0] != sw0 {
+		t.Error("SampleMinInto reallocated its buffer (capacity regression)")
+	}
+}
+
+func TestIntraGroupSampling(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	pol := Full{T: tp}
+	r := rng.New(5)
+	for i := 0; i < 100; i++ {
+		p, ok := pol.SampleVLB(r, 0, 2)
+		if !ok || p.Hops() != 2 {
+			t.Fatalf("intra-group VLB sample: %v %v", p, ok)
+		}
+		mid := int(p.Sw[1])
+		if !tp.SameGroup(mid, 0) || mid == 0 || mid == 2 {
+			t.Fatalf("bad intra-group intermediate %d", mid)
+		}
+	}
+	// a=2 topologies have no intra-group detour.
+	t2 := topo.MustNew(1, 2, 1, 3)
+	if _, ok := (Full{T: t2}).SampleVLB(r, 0, 1); ok {
+		t.Fatal("a=2 intra-group VLB should not exist")
+	}
+}

@@ -1,0 +1,188 @@
+// Package placement maps application ranks onto Dragonfly compute
+// nodes. On Dragonfly the mapping decides how adversarial a given
+// application pattern is at the network level: consecutive ranks
+// placed consecutively turn neighbor exchanges into group-to-group
+// shifts (MIN's worst case), while randomized placement spreads the
+// same traffic close to uniform. Combining a placement with a
+// rank-level pattern yields a node-level pattern for the simulator —
+// letting the library answer "does T-UGAL still help once the job
+// scheduler scrambles placement?"
+package placement
+
+import (
+	"fmt"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Strategy is a rank-to-node mapping policy.
+type Strategy int
+
+// Strategies.
+const (
+	// Linear assigns rank r to node r (the default scheduler fill).
+	Linear Strategy = iota
+	// Random assigns ranks to a random permutation of the nodes.
+	Random
+	// GroupRoundRobin deals ranks across groups like cards: rank r
+	// goes to group r mod g, spreading consecutive ranks over
+	// groups.
+	GroupRoundRobin
+	// SwitchRoundRobin deals ranks across switches: rank r goes to
+	// switch r mod (g*a), spreading consecutive ranks maximally.
+	SwitchRoundRobin
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Linear:
+		return "linear"
+	case Random:
+		return "random"
+	case GroupRoundRobin:
+		return "group-rr"
+	case SwitchRoundRobin:
+		return "switch-rr"
+	default:
+		return "unknown"
+	}
+}
+
+// Map returns place[rank] = node for nRanks ranks (nRanks <= number
+// of nodes). Every strategy yields an injective mapping.
+func Map(t *topo.Topology, nRanks int, s Strategy, seed uint64) ([]int32, error) {
+	n := t.NumNodes()
+	if nRanks < 1 || nRanks > n {
+		return nil, fmt.Errorf("placement: %d ranks on %d nodes", nRanks, n)
+	}
+	place := make([]int32, nRanks)
+	switch s {
+	case Linear:
+		for r := range place {
+			place[r] = int32(r)
+		}
+	case Random:
+		perm := rng.New(seed).Perm(n)
+		for r := range place {
+			place[r] = int32(perm[r])
+		}
+	case GroupRoundRobin:
+		// Deal ranks over groups; within a group fill nodes in order.
+		next := make([]int, t.G) // next node index within each group
+		nodesPerGroup := t.A * t.P
+		for r := range place {
+			g := r % t.G
+			// Find a group with space, starting at the dealt one.
+			for next[g] >= nodesPerGroup {
+				g = (g + 1) % t.G
+			}
+			place[r] = int32(g*nodesPerGroup + next[g])
+			next[g]++
+		}
+	case SwitchRoundRobin:
+		sw := t.NumSwitches()
+		next := make([]int, sw)
+		for r := range place {
+			w := r % sw
+			for next[w] >= t.P {
+				w = (w + 1) % sw
+			}
+			place[r] = int32(t.NodeID(w, next[w]))
+			next[w]++
+		}
+	default:
+		return nil, fmt.Errorf("placement: unknown strategy %d", s)
+	}
+	return place, nil
+}
+
+// RankPattern is a deterministic rank-level communication pattern:
+// each rank sends to one fixed peer rank (or itself, meaning silent).
+type RankPattern interface {
+	Name() string
+	PeerOf(rank, nRanks int) int
+}
+
+// RingExchange is the rank-level nearest-neighbor ring (rank r to
+// r+1 mod n) — a halo exchange's backbone.
+type RingExchange struct{}
+
+// Name implements RankPattern.
+func (RingExchange) Name() string { return "ring" }
+
+// PeerOf implements RankPattern.
+func (RingExchange) PeerOf(rank, nRanks int) int { return (rank + 1) % nRanks }
+
+// PairExchange pairs rank 2k with 2k+1 (a butterfly stage).
+type PairExchange struct{}
+
+// Name implements RankPattern.
+func (PairExchange) Name() string { return "pairs" }
+
+// PeerOf implements RankPattern.
+func (PairExchange) PeerOf(rank, nRanks int) int {
+	peer := rank ^ 1
+	if peer >= nRanks {
+		return rank
+	}
+	return peer
+}
+
+// HalfShift sends rank r to r + n/2 mod n (bisection-stressing).
+type HalfShift struct{}
+
+// Name implements RankPattern.
+func (HalfShift) Name() string { return "halfshift" }
+
+// PeerOf implements RankPattern.
+func (HalfShift) PeerOf(rank, nRanks int) int { return (rank + nRanks/2) % nRanks }
+
+// Placed is the node-level traffic pattern induced by running a
+// rank-level pattern under a placement. Nodes without a rank are
+// silent. It implements traffic.Deterministic, so it works with both
+// the simulator and the throughput model.
+type Placed struct {
+	t       *topo.Topology
+	rp      RankPattern
+	place   []int32
+	rankOf  []int32 // node -> rank, -1 if none
+	nameStr string
+}
+
+// NewPlaced builds the node-level pattern.
+func NewPlaced(t *topo.Topology, rp RankPattern, place []int32, strategyName string) *Placed {
+	rankOf := make([]int32, t.NumNodes())
+	for i := range rankOf {
+		rankOf[i] = -1
+	}
+	for r, node := range place {
+		rankOf[node] = int32(r)
+	}
+	return &Placed{
+		t: t, rp: rp, place: place, rankOf: rankOf,
+		nameStr: fmt.Sprintf("%s@%s", rp.Name(), strategyName),
+	}
+}
+
+// Name implements traffic.Pattern.
+func (p *Placed) Name() string { return p.nameStr }
+
+// DestOf implements traffic.Deterministic.
+func (p *Placed) DestOf(src int) int {
+	r := p.rankOf[src]
+	if r < 0 {
+		return src
+	}
+	peer := p.rp.PeerOf(int(r), len(p.place))
+	return int(p.place[peer])
+}
+
+// Dest implements traffic.Pattern.
+func (p *Placed) Dest(_ *rng.Source, src int) (int, bool) {
+	d := p.DestOf(src)
+	return d, d != src
+}
+
+var _ traffic.Deterministic = (*Placed)(nil)

@@ -1,0 +1,150 @@
+package placement
+
+import (
+	"testing"
+
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func TestMapInjective(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	for _, s := range []Strategy{Linear, Random, GroupRoundRobin, SwitchRoundRobin} {
+		for _, nRanks := range []int{1, 10, tp.NumNodes()} {
+			place, err := Map(tp, nRanks, s, 3)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", s, nRanks, err)
+			}
+			seen := map[int32]bool{}
+			for r, node := range place {
+				if node < 0 || int(node) >= tp.NumNodes() {
+					t.Fatalf("%v: rank %d at invalid node %d", s, r, node)
+				}
+				if seen[node] {
+					t.Fatalf("%v: node %d assigned twice", s, node)
+				}
+				seen[node] = true
+			}
+		}
+	}
+	if _, err := Map(tp, tp.NumNodes()+1, Linear, 0); err == nil {
+		t.Fatal("oversubscription accepted")
+	}
+	if _, err := Map(tp, 0, Linear, 0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+func TestGroupRoundRobinSpreads(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	place, err := Map(tp, tp.G, GroupRoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, node := range place {
+		g := tp.GroupOfNode(int(node))
+		if seen[g] {
+			t.Fatalf("two of the first %d ranks share group %d", tp.G, g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestSwitchRoundRobinSpreads(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	place, err := Map(tp, tp.NumSwitches(), SwitchRoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, node := range place {
+		sw := tp.SwitchOfNode(int(node))
+		if seen[sw] {
+			t.Fatalf("switch %d got two early ranks", sw)
+		}
+		seen[sw] = true
+	}
+}
+
+func TestLinearRingIsAdversarialAtGroupBoundary(t *testing.T) {
+	// Under linear placement a ring exchange crosses group
+	// boundaries only at the group edges; under group round-robin
+	// EVERY message crosses groups. The demand matrices must show
+	// it.
+	tp := topo.MustNew(2, 4, 2, 9)
+	n := tp.NumNodes()
+
+	linPlace, _ := Map(tp, n, Linear, 0)
+	lin := NewPlaced(tp, RingExchange{}, linPlace, Linear.String())
+	rrPlace, _ := Map(tp, n, GroupRoundRobin, 0)
+	rr := NewPlaced(tp, RingExchange{}, rrPlace, GroupRoundRobin.String())
+
+	crossings := func(p traffic.Deterministic) int {
+		c := 0
+		for node := 0; node < n; node++ {
+			d := p.DestOf(node)
+			if d != node && tp.GroupOfNode(d) != tp.GroupOfNode(node) {
+				c++
+			}
+		}
+		return c
+	}
+	cl, cr := crossings(lin), crossings(rr)
+	if cl >= cr {
+		t.Fatalf("linear ring crosses groups %d times, round-robin %d — expected fewer", cl, cr)
+	}
+	if cl != tp.G {
+		t.Fatalf("linear ring group crossings %d, want one per group boundary (%d)", cl, tp.G)
+	}
+	if cr != n {
+		t.Fatalf("round-robin ring crossings %d, want all %d", cr, n)
+	}
+}
+
+func TestPlacedBijectiveWithFullRanks(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	place, _ := Map(tp, tp.NumNodes(), Random, 7)
+	p := NewPlaced(tp, HalfShift{}, place, Random.String())
+	seen := map[int]bool{}
+	for node := 0; node < tp.NumNodes(); node++ {
+		d := p.DestOf(node)
+		if seen[d] {
+			t.Fatalf("destination %d reused", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestPairExchangeInvolution(t *testing.T) {
+	pe := PairExchange{}
+	for n := 0; n < 10; n++ {
+		p := pe.PeerOf(n, 10)
+		if pe.PeerOf(p, 10) != n {
+			t.Fatalf("pairs not involutive at %d", n)
+		}
+	}
+	// Odd tail rank is silent.
+	if pe.PeerOf(8, 9) != 8 {
+		t.Fatal("unpaired rank not silent")
+	}
+}
+
+func TestPlacedSilentNodes(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	place, _ := Map(tp, 10, Linear, 0)
+	p := NewPlaced(tp, RingExchange{}, place, "linear")
+	if _, ok := p.Dest(nil, tp.NumNodes()-1); ok {
+		t.Fatal("rankless node not silent")
+	}
+	if d, ok := p.Dest(nil, 0); !ok || d != 1 {
+		t.Fatalf("rank 0 should send to rank 1's node: %d %v", d, ok)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Linear.String() != "linear" || Random.String() != "random" ||
+		GroupRoundRobin.String() != "group-rr" || SwitchRoundRobin.String() != "switch-rr" {
+		t.Fatal("strategy names")
+	}
+}

@@ -1,0 +1,235 @@
+// Package spec parses the compact textual specifications used by the
+// command-line tools and the JSON experiment runner: topologies,
+// path policies ("strategic:2", "capped:4:0.6"), traffic patterns
+// ("shift:2:0", "mixed:25"), and routing schemes ("t-ugal-l").
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/placement"
+	"tugal/internal/routing"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Topology parses "p,a,h,g[,relative]".
+func Topology(s string) (*topo.Topology, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 4 || len(parts) > 5 {
+		return nil, fmt.Errorf("spec: topology %q, want \"p,a,h,g[,arrangement]\"", s)
+	}
+	var v [4]int
+	for i := 0; i < 4; i++ {
+		x, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+		if err != nil {
+			return nil, fmt.Errorf("spec: topology %q: %v", s, err)
+		}
+		v[i] = x
+	}
+	arr := topo.Absolute
+	if len(parts) == 5 {
+		switch strings.TrimSpace(parts[4]) {
+		case "absolute", "":
+		case "relative":
+			arr = topo.Relative
+		default:
+			return nil, fmt.Errorf("spec: unknown arrangement %q", parts[4])
+		}
+	}
+	return topo.NewArranged(v[0], v[1], v[2], v[3], arr)
+}
+
+// Policy parses a path-policy spec:
+//
+//	full | all
+//	strategic[:firstLeg]
+//	capped:<maxHops>[:frac]
+func Policy(t *topo.Topology, s string, seed uint64) (paths.Policy, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "full", "all", "":
+		return paths.Full{T: t}, nil
+	case "strategic":
+		leg := 2
+		if len(parts) > 1 {
+			v, err := strconv.Atoi(parts[1])
+			if err != nil || (v != 2 && v != 3) {
+				return nil, fmt.Errorf("spec: strategic leg %q (want 2 or 3)", parts[1])
+			}
+			leg = v
+		}
+		return paths.Strategic{T: t, FirstLeg: leg}, nil
+	case "capped":
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("spec: capped policy needs capped:<maxHops>[:frac]")
+		}
+		maxHops, err := strconv.Atoi(parts[1])
+		if err != nil || maxHops < 2 || maxHops > paths.MaxVLBHops {
+			return nil, fmt.Errorf("spec: bad maxHops %q", parts[1])
+		}
+		frac := 0.0
+		if len(parts) > 2 {
+			frac, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil || frac < 0 || frac > 1 {
+				return nil, fmt.Errorf("spec: bad frac %q", parts[2])
+			}
+		}
+		return paths.LengthCapped{T: t, MaxHops: maxHops, Frac: frac, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("spec: unknown policy %q", s)
+	}
+}
+
+// Pattern parses a traffic-pattern spec:
+//
+//	ur | uniform
+//	shift[:dg[:ds]] | adv[:dg[:ds]]
+//	perm
+//	gperm
+//	mixed[:urPct] | tmixed[:urPct]
+//	tornado | transpose | bitcomp | bitrev | alltoall | stencil3d
+//	hotspot[:n[:pct]]
+//	ring@<placement> | halfshift@<placement> | pairs@<placement>
+func Pattern(t *topo.Topology, s string, seed uint64) (traffic.Pattern, error) {
+	if base, strat, ok := strings.Cut(s, "@"); ok {
+		return placedPattern(t, base, strat, seed)
+	}
+	parts := strings.Split(s, ":")
+	atoi := func(i, def int) (int, error) {
+		if len(parts) <= i {
+			return def, nil
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "ur", "uniform":
+		return traffic.Uniform{T: t}, nil
+	case "shift", "adv":
+		dg, err := atoi(1, 1)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		ds, err := atoi(2, 0)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return traffic.Shift{T: t, DG: dg, DS: ds}, nil
+	case "perm":
+		return traffic.NewPermutation(t, seed), nil
+	case "gperm":
+		return traffic.NewGroupPermutation(t, seed), nil
+	case "mixed":
+		ur, err := atoi(1, 50)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return traffic.NewMixed(t, ur, traffic.Shift{T: t, DG: 1, DS: 0}, seed), nil
+	case "tmixed":
+		ur, err := atoi(1, 50)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return traffic.NewTimeMixed(t, ur, traffic.Shift{T: t, DG: 1, DS: 0}), nil
+	case "tornado":
+		return traffic.Tornado{T: t}, nil
+	case "transpose":
+		return traffic.NewTranspose(t), nil
+	case "bitcomp":
+		return traffic.BitComplement{T: t}, nil
+	case "bitrev":
+		return traffic.NewBitReverse(t), nil
+	case "alltoall":
+		return traffic.NewAllToAll(t), nil
+	case "stencil3d":
+		return traffic.NewStencil3D(t), nil
+	case "hotspot":
+		n, err := atoi(1, 4)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		pct, err := atoi(2, 50)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %v", err)
+		}
+		return traffic.NewHotspot(t, n, pct, seed), nil
+	default:
+		return nil, fmt.Errorf("spec: unknown pattern %q", s)
+	}
+}
+
+// placedPattern handles "ring@group-rr"-style specs.
+func placedPattern(t *topo.Topology, base, strat string, seed uint64) (traffic.Pattern, error) {
+	var rp placement.RankPattern
+	switch base {
+	case "ring":
+		rp = placement.RingExchange{}
+	case "halfshift":
+		rp = placement.HalfShift{}
+	case "pairs":
+		rp = placement.PairExchange{}
+	default:
+		return nil, fmt.Errorf("spec: unknown rank pattern %q", base)
+	}
+	var st placement.Strategy
+	switch strat {
+	case "linear":
+		st = placement.Linear
+	case "random":
+		st = placement.Random
+	case "group-rr":
+		st = placement.GroupRoundRobin
+	case "switch-rr":
+		st = placement.SwitchRoundRobin
+	default:
+		return nil, fmt.Errorf("spec: unknown placement %q", strat)
+	}
+	place, err := placement.Map(t, t.NumNodes(), st, seed)
+	if err != nil {
+		return nil, err
+	}
+	return placement.NewPlaced(t, rp, place, st.String()), nil
+}
+
+// Routing builds a routing function from its spec name, returning it
+// with the VC budget it requires. T- schemes use pol as their T-VLB
+// set; conventional schemes ignore pol.
+func Routing(t *topo.Topology, name string, pol paths.Policy) (netsim.RoutingFunc, int, error) {
+	full := paths.Full{T: t}
+	switch strings.ToLower(name) {
+	case "min":
+		return routing.NewMin(t), 4, nil
+	case "vlb":
+		return routing.NewVLB(t, full), 4, nil
+	case "ugal-l":
+		return routing.NewUGALL(t, full), 4, nil
+	case "ugal-g":
+		return routing.NewUGALG(t, full), 4, nil
+	case "ugal-pb":
+		return routing.NewPiggyback(t, full), 4, nil
+	case "par":
+		return routing.NewPAR(t, full), 5, nil
+	case "t-ugal-l":
+		r := routing.NewUGALL(t, pol)
+		r.Label = "T-UGAL-L"
+		return r, 4, nil
+	case "t-ugal-g":
+		r := routing.NewUGALG(t, pol)
+		r.Label = "T-UGAL-G"
+		return r, 4, nil
+	case "t-ugal-pb":
+		r := routing.NewPiggyback(t, pol)
+		r.Label = "T-UGAL-PB"
+		return r, 4, nil
+	case "t-par":
+		r := routing.NewPAR(t, pol)
+		r.Label = "T-PAR"
+		return r, 5, nil
+	default:
+		return nil, 0, fmt.Errorf("spec: unknown routing %q", name)
+	}
+}

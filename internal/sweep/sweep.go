@@ -1,0 +1,222 @@
+// Package sweep drives the simulator across offered loads: latency
+// curves (the x/y series of Figures 6-18) and saturation-throughput
+// searches (the paper's "last injection rate before saturation"
+// metric), with multi-seed averaging.
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"sync"
+
+	"tugal/internal/netsim"
+	"tugal/internal/rng"
+	"tugal/internal/stats"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Windows bundles the simulation phase lengths.
+type Windows struct {
+	Warmup  int64
+	Measure int64
+	Drain   int64
+}
+
+// PaperWindows returns the paper's settings: three 10000-cycle warmup
+// windows and one 10000-cycle measurement window.
+func PaperWindows() Windows {
+	return Windows{Warmup: 30000, Measure: 10000, Drain: 20000}
+}
+
+// QuickWindows returns CI/benchmark-scale settings.
+func QuickWindows() Windows {
+	return Windows{Warmup: 2500, Measure: 1500, Drain: 3000}
+}
+
+// PatternFactory builds a traffic pattern for a seed. Patterns with
+// frozen random structure (permutations, mixed node subsets) should
+// derive it from the seed so multi-seed runs vary it.
+type PatternFactory func(seed uint64) traffic.Pattern
+
+// Fixed adapts a seed-independent pattern.
+func Fixed(p traffic.Pattern) PatternFactory {
+	return func(uint64) traffic.Pattern { return p }
+}
+
+// Point is one load point of a latency curve, averaged over seeds.
+type Point struct {
+	Offered     float64
+	Latency     float64 // mean over seeds; +Inf if any seed saturated
+	LatencyErr  float64
+	Throughput  float64
+	VLBFraction float64
+	AvgHops     float64
+	Saturated   bool
+}
+
+// MarshalJSON encodes the point with saturated (+Inf) latency as
+// null, which encoding/json cannot represent natively.
+func (p Point) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Offered     float64  `json:"offered"`
+		Latency     *float64 `json:"latency"`
+		LatencyErr  float64  `json:"latencyErr"`
+		Throughput  float64  `json:"throughput"`
+		VLBFraction float64  `json:"vlbFraction"`
+		AvgHops     float64  `json:"avgHops"`
+		Saturated   bool     `json:"saturated"`
+	}
+	a := alias{
+		Offered:     p.Offered,
+		LatencyErr:  p.LatencyErr,
+		Throughput:  p.Throughput,
+		VLBFraction: p.VLBFraction,
+		AvgHops:     p.AvgHops,
+		Saturated:   p.Saturated,
+	}
+	if !math.IsInf(p.Latency, 0) && !math.IsNaN(p.Latency) {
+		l := p.Latency
+		a.Latency = &l
+	}
+	return json.Marshal(a)
+}
+
+// RunPoint simulates one (routing, pattern, rate) point over seeds
+// and aggregates.
+func RunPoint(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+	pf PatternFactory, rate float64, w Windows, seeds int) Point {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var lat, thr, vlb, hops []float64
+	saturated := false
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = rng.Hash64(cfg.Seed, uint64(s))
+		n := netsim.New(t, c, rf, pf(c.Seed), rate)
+		res := n.Run(w.Warmup, w.Measure, w.Drain)
+		if res.Saturated {
+			saturated = true
+		}
+		if !math.IsInf(res.AvgLatency, 1) {
+			lat = append(lat, res.AvgLatency)
+		}
+		thr = append(thr, res.Throughput)
+		vlb = append(vlb, res.VLBFraction)
+		hops = append(hops, res.AvgHops)
+	}
+	p := Point{Offered: rate, Saturated: saturated}
+	if len(lat) > 0 && !saturated {
+		p.Latency, p.LatencyErr = stats.MeanErr(lat)
+	} else {
+		p.Latency = math.Inf(1)
+	}
+	p.Throughput = stats.Mean(thr)
+	p.VLBFraction = stats.Mean(vlb)
+	p.AvgHops = stats.Mean(hops)
+	return p
+}
+
+// Curve is a latency-vs-offered-load series for one routing scheme.
+type Curve struct {
+	Name   string
+	Points []Point
+}
+
+// SaturationThroughput returns the highest load point that did not
+// saturate (0 if even the lowest did).
+func (c Curve) SaturationThroughput() float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if !p.Saturated && p.Offered > best {
+			best = p.Offered
+		}
+	}
+	return best
+}
+
+// LatencyAt returns the mean latency at the point closest to load
+// (NaN when that point saturated).
+func (c Curve) LatencyAt(load float64) float64 {
+	bestD := math.Inf(1)
+	lat := math.NaN()
+	for _, p := range c.Points {
+		if d := math.Abs(p.Offered - load); d < bestD {
+			bestD = d
+			lat = p.Latency
+		}
+	}
+	return lat
+}
+
+// Cloner is implemented by routing functions that can produce
+// independent copies of themselves (routing.UGAL does). Sweeps over
+// such functions run their load points concurrently; other routing
+// functions are swept sequentially, since RoutingFunc implementations
+// may keep per-packet scratch state.
+type Cloner interface {
+	CloneRouting() netsim.RoutingFunc
+}
+
+// LatencyCurve sweeps the given rates. Load points run in parallel
+// (one goroutine per point, capped by GOMAXPROCS) when rf implements
+// Cloner; results are deterministic either way because every point
+// derives its seeds from cfg.Seed alone.
+func LatencyCurve(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+	pf PatternFactory, rates []float64, w Windows, seeds int) Curve {
+	c := Curve{Name: rf.Name(), Points: make([]Point, len(rates))}
+	cl, ok := rf.(Cloner)
+	if !ok || len(rates) < 2 {
+		for i, r := range rates {
+			c.Points[i] = RunPoint(t, cfg, rf, pf, r, w, seeds)
+		}
+		return c
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, r := range rates {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c.Points[i] = RunPoint(t, cfg, cl.CloneRouting(), pf, r, w, seeds)
+		}(i, r)
+	}
+	wg.Wait()
+	return c
+}
+
+// Saturation binary-searches the saturation throughput to the given
+// resolution: the largest rate whose run stays under the latency cap.
+func Saturation(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+	pf PatternFactory, w Windows, seeds int, resolution float64) float64 {
+	if resolution <= 0 {
+		resolution = 0.01
+	}
+	lo, hi := 0.0, 1.0
+	// Establish an upper bracket fast: if 1.0 is unsaturated we are done.
+	if !RunPoint(t, cfg, rf, pf, hi, w, seeds).Saturated {
+		return hi
+	}
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		if RunPoint(t, cfg, rf, pf, mid, w, seeds).Saturated {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// Rates builds an evenly spaced load grid in (0, max].
+func Rates(max float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, max*float64(i)/float64(n))
+	}
+	return out
+}

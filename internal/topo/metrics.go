@@ -1,0 +1,76 @@
+package topo
+
+// Metrics are switch-graph properties of a Dragonfly instance; on
+// any dfly(p,a,h,g) with the uniform arrangement the diameter is 3
+// (local, global, local), which doubles as a wiring sanity check.
+type Metrics struct {
+	// Diameter is the maximum switch-to-switch shortest path length.
+	Diameter int
+	// AvgShortestPath is the mean shortest path length over ordered
+	// switch pairs.
+	AvgShortestPath float64
+	// GroupBisectionLinks counts bidirectional global links crossing
+	// the balanced group bisection: K * ceil(g/2) * floor(g/2) for
+	// the uniform arrangements.
+	GroupBisectionLinks int
+}
+
+// ComputeMetrics runs breadth-first searches over the switch graph.
+// Cost is O(switches * (switches + links)); fine for every topology
+// in this repository (the largest has 702 switches).
+func (t *Topology) ComputeMetrics() Metrics {
+	n := t.NumSwitches()
+	var m Metrics
+	totalDist := 0
+	pairs := 0
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+	for src := 0; src < n; src++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue = append(queue[:0], src)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			// Local neighbors.
+			g := t.GroupOf(u)
+			for idx := 0; idx < t.A; idx++ {
+				v := t.SwitchID(g, idx)
+				if v != u && dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+			// Global neighbors.
+			for gp := 0; gp < t.H; gp++ {
+				v := t.GlobalPeer(u, gp)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for v, d := range dist {
+			if v == src {
+				continue
+			}
+			if d < 0 {
+				// Disconnected — cannot happen with a valid wiring,
+				// but surface it unmistakably.
+				return Metrics{Diameter: -1}
+			}
+			totalDist += d
+			pairs++
+			if d > m.Diameter {
+				m.Diameter = d
+			}
+		}
+	}
+	if pairs > 0 {
+		m.AvgShortestPath = float64(totalDist) / float64(pairs)
+	}
+	m.GroupBisectionLinks = t.K * (t.G / 2) * ((t.G + 1) / 2)
+	return m
+}

@@ -1,0 +1,420 @@
+// Package topo constructs and queries Dragonfly topologies
+// dfly(p, a, h, g) as defined in Kim et al. (ISCA'08) and used by
+// Rahman et al. (SC'19):
+//
+//   - p: terminal (compute-node) links per switch
+//   - a: switches per group, fully connected intra-group
+//   - h: global links per switch
+//   - g: number of groups, 2 <= g <= a*h+1
+//
+// The inter-group wiring follows the paper's "minor variation of the
+// absolute arrangement" (Hastings et al., Cluster'15): when
+// g < a*h+1, every ordered group pair is connected by exactly
+// k = a*h/(g-1) parallel global links, interleaved across the
+// switches of each group. For g = a*h+1 this degenerates to the
+// classic absolute arrangement with one link per group pair.
+//
+// Identifiers: switch s of group gi has SwitchID gi*a + s; terminal
+// node n of switch sw has NodeID sw*p + n. Switch ports are numbered
+// [0,p) terminal, [p, p+a-1) local, [p+a-1, p+a-1+h) global.
+package topo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Params are the four Dragonfly parameters.
+type Params struct {
+	P int // terminal links per switch
+	A int // switches per group
+	H int // global links per switch
+	G int // number of groups
+}
+
+// String renders the paper's dfly(p,a,h,g) notation.
+func (pr Params) String() string {
+	return fmt.Sprintf("dfly(%d,%d,%d,%d)", pr.P, pr.A, pr.H, pr.G)
+}
+
+// Balanced reports whether the parameters satisfy the load-balance
+// guideline a = 2p = 2h from Kim et al.
+func (pr Params) Balanced() bool {
+	return pr.A == 2*pr.P && pr.A == 2*pr.H
+}
+
+// Arrangement selects how global links map onto group pairs
+// (Hastings et al., Cluster'15). The paper's experiments use the
+// absolute arrangement; T-UGAL itself is arrangement-agnostic
+// (paper §2.1), which the relative variant lets tests demonstrate.
+type Arrangement uint8
+
+// Arrangements.
+const (
+	// Absolute (the default): group-level port m of group i reaches
+	// group j'+(j'>=i?1:0) where j' = m mod (g-1).
+	Absolute Arrangement = iota
+	// Relative: group-level port m of group i reaches group
+	// (i + 1 + (m mod (g-1))) mod g.
+	Relative
+)
+
+func (a Arrangement) String() string {
+	switch a {
+	case Absolute:
+		return "absolute"
+	case Relative:
+		return "relative"
+	default:
+		return "unknown"
+	}
+}
+
+// Topology is an immutable Dragonfly instance. All query methods are
+// safe for concurrent use.
+type Topology struct {
+	Params
+
+	// Arr is the global link arrangement.
+	Arr Arrangement
+
+	// K is the number of global links between each ordered pair of
+	// groups: a*h/(g-1).
+	K int
+
+	// globalPeer[sw][gp] is the switch at the far end of global port
+	// gp (0..h-1) of switch sw; globalPeerPort is the peer's global
+	// port index for the same physical link.
+	globalPeer     [][]int32
+	globalPeerPort [][]int32
+
+	// linksBetween[gi*G+gj] caches the K global links from group gi
+	// to group gj (empty for gi == gj). Shared, read-only.
+	linksBetween [][]GlobalLink
+}
+
+// Common construction errors.
+var (
+	ErrBadParams   = errors.New("topo: parameters must satisfy p>=1, a>=2, h>=1, 2<=g<=a*h+1")
+	ErrIndivisible = errors.New("topo: a*h must be divisible by g-1 for the uniform absolute arrangement")
+)
+
+// New validates the parameters and builds the topology with the
+// absolute arrangement (the paper's configuration).
+func New(p, a, h, g int) (*Topology, error) {
+	return NewArranged(p, a, h, g, Absolute)
+}
+
+// NewArranged builds the topology with an explicit global link
+// arrangement.
+func NewArranged(p, a, h, g int, arr Arrangement) (*Topology, error) {
+	if p < 1 || a < 2 || h < 1 || g < 2 || g > a*h+1 {
+		return nil, fmt.Errorf("%w: got dfly(%d,%d,%d,%d)", ErrBadParams, p, a, h, g)
+	}
+	if (a*h)%(g-1) != 0 {
+		return nil, fmt.Errorf("%w: a*h=%d, g-1=%d", ErrIndivisible, a*h, g-1)
+	}
+	if arr != Absolute && arr != Relative {
+		return nil, fmt.Errorf("topo: unknown arrangement %d", arr)
+	}
+	t := &Topology{
+		Params: Params{P: p, A: a, H: h, G: g},
+		Arr:    arr,
+		K:      a * h / (g - 1),
+	}
+	t.wire()
+	t.buildLinkCache()
+	return t, nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples
+// with known-good parameters.
+func MustNew(p, a, h, g int) *Topology {
+	t, err := New(p, a, h, g)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// peerGroup maps a group-level port slot j' of group gi to its peer
+// group under the configured arrangement.
+func (t *Topology) peerGroup(gi, jp int) int {
+	if t.Arr == Relative {
+		return (gi + 1 + jp) % t.G
+	}
+	if jp >= gi {
+		return jp + 1
+	}
+	return jp
+}
+
+// slotToward is peerGroup's inverse: the group-level port slot of gi
+// that reaches gj.
+func (t *Topology) slotToward(gi, gj int) int {
+	if t.Arr == Relative {
+		return ((gj-gi-1)%t.G + t.G) % t.G
+	}
+	if gj > gi {
+		return gj - 1
+	}
+	return gj
+}
+
+// wire computes the global-link peer tables. Group-level port
+// m in [0, a*h) of a group targets the peer group of slot
+// j' = m mod (g-1) (arrangement-dependent), using the
+// r = m div (g-1)-th of the K parallel links of the pair; the far
+// end is the same r on the peer's slot back. Port m belongs to
+// switch m div h, local global index m mod h — interleaving the K
+// parallel links of a pair across the switches of each group.
+func (t *Topology) wire() {
+	n := t.NumSwitches()
+	t.globalPeer = make([][]int32, n)
+	t.globalPeerPort = make([][]int32, n)
+	backing := make([]int32, n*t.H*2)
+	for sw := 0; sw < n; sw++ {
+		t.globalPeer[sw] = backing[sw*t.H*2 : sw*t.H*2+t.H]
+		t.globalPeerPort[sw] = backing[sw*t.H*2+t.H : (sw+1)*t.H*2]
+	}
+	gm1 := t.G - 1
+	for gi := 0; gi < t.G; gi++ {
+		for m := 0; m < t.A*t.H; m++ {
+			jp := m % gm1
+			r := m / gm1
+			gj := t.peerGroup(gi, jp)
+			mPeer := t.slotToward(gj, gi) + r*gm1
+			sw := gi*t.A + m/t.H
+			peerSw := gj*t.A + mPeer/t.H
+			t.globalPeer[sw][m%t.H] = int32(peerSw)
+			t.globalPeerPort[sw][m%t.H] = int32(mPeer % t.H)
+		}
+	}
+}
+
+// NumSwitches returns g*a.
+func (t *Topology) NumSwitches() int { return t.G * t.A }
+
+// NumNodes returns g*a*p, the paper's "No. of PEs".
+func (t *Topology) NumNodes() int { return t.G * t.A * t.P }
+
+// Radix returns the switch port count p + (a-1) + h.
+func (t *Topology) Radix() int { return t.P + t.A - 1 + t.H }
+
+// GlobalLinksPerGroup returns a*h.
+func (t *Topology) GlobalLinksPerGroup() int { return t.A * t.H }
+
+// GroupOf returns the group of a switch.
+func (t *Topology) GroupOf(sw int) int { return sw / t.A }
+
+// SwitchIndexInGroup returns a switch's index within its group.
+func (t *Topology) SwitchIndexInGroup(sw int) int { return sw % t.A }
+
+// SwitchID composes a switch id from group and in-group index.
+func (t *Topology) SwitchID(group, idx int) int { return group*t.A + idx }
+
+// SwitchOfNode returns the switch a node attaches to.
+func (t *Topology) SwitchOfNode(node int) int { return node / t.P }
+
+// NodeID composes a node id from switch and terminal index.
+func (t *Topology) NodeID(sw, k int) int { return sw*t.P + k }
+
+// NodeIndex returns a node's terminal index at its switch.
+func (t *Topology) NodeIndex(node int) int { return node % t.P }
+
+// GroupOfNode returns the group a node belongs to.
+func (t *Topology) GroupOfNode(node int) int { return node / (t.A * t.P) }
+
+// GlobalPeer returns the far-end switch of global port gp of sw.
+func (t *Topology) GlobalPeer(sw, gp int) int {
+	return int(t.globalPeer[sw][gp])
+}
+
+// GlobalPeerPort returns the far-end global port index of global port
+// gp of sw.
+func (t *Topology) GlobalPeerPort(sw, gp int) int {
+	return int(t.globalPeerPort[sw][gp])
+}
+
+// Port numbering helpers. A port is terminal, local or global.
+
+// TerminalPort returns the port to terminal node index k.
+func (t *Topology) TerminalPort(k int) int { return k }
+
+// LocalPort returns the port on switch u toward switch v, which must
+// be a different switch of the same group.
+func (t *Topology) LocalPort(u, v int) int {
+	su, sv := u%t.A, v%t.A
+	if u/t.A != v/t.A || su == sv {
+		panic(fmt.Sprintf("topo: LocalPort(%d,%d) not distinct same-group switches", u, v))
+	}
+	if sv > su {
+		sv--
+	}
+	return t.P + sv
+}
+
+// GlobalPort returns the port for global link index gp (0..h-1).
+func (t *Topology) GlobalPort(gp int) int { return t.P + t.A - 1 + gp }
+
+// PortKind classifies a port number.
+type PortKind uint8
+
+// Port kinds.
+const (
+	Terminal PortKind = iota
+	Local
+	Global
+)
+
+// KindOfPort classifies port number pt of any switch.
+func (t *Topology) KindOfPort(pt int) PortKind {
+	switch {
+	case pt < t.P:
+		return Terminal
+	case pt < t.P+t.A-1:
+		return Local
+	default:
+		return Global
+	}
+}
+
+// PeerOfPort resolves the switch at the far end of a local or global
+// port of sw. It panics for terminal ports.
+func (t *Topology) PeerOfPort(sw, pt int) int {
+	switch t.KindOfPort(pt) {
+	case Local:
+		idx := pt - t.P
+		su := sw % t.A
+		if idx >= su {
+			idx++
+		}
+		return (sw/t.A)*t.A + idx
+	case Global:
+		return int(t.globalPeer[sw][pt-t.P-t.A+1])
+	default:
+		panic("topo: PeerOfPort on terminal port")
+	}
+}
+
+// GlobalLink is one directed global connection u -> v.
+type GlobalLink struct {
+	From, To int32
+	// FromPort is the global port index (0..h-1) at From.
+	FromPort int32
+}
+
+// LinksBetweenGroups returns the global links from group gi to group
+// gj (gi != gj): exactly K entries. The returned slice is shared and
+// must not be modified.
+func (t *Topology) LinksBetweenGroups(gi, gj int) []GlobalLink {
+	if gi == gj {
+		panic("topo: LinksBetweenGroups with gi == gj")
+	}
+	return t.linksBetween[gi*t.G+gj]
+}
+
+// buildLinkCache fills linksBetween after wiring.
+func (t *Topology) buildLinkCache() {
+	t.linksBetween = make([][]GlobalLink, t.G*t.G)
+	backing := make([]GlobalLink, 0, t.G*(t.G-1)*t.K)
+	gm1 := t.G - 1
+	for gi := 0; gi < t.G; gi++ {
+		for gj := 0; gj < t.G; gj++ {
+			if gi == gj {
+				continue
+			}
+			jp := t.slotToward(gi, gj)
+			start := len(backing)
+			for r := 0; r < t.K; r++ {
+				m := jp + r*gm1
+				sw := gi*t.A + m/t.H
+				backing = append(backing, GlobalLink{
+					From:     int32(sw),
+					To:       t.globalPeer[sw][m%t.H],
+					FromPort: int32(m % t.H),
+				})
+			}
+			t.linksBetween[gi*t.G+gj] = backing[start:len(backing):len(backing)]
+		}
+	}
+}
+
+// SameGroup reports whether two switches share a group.
+func (t *Topology) SameGroup(u, v int) bool { return u/t.A == v/t.A }
+
+// AdjacentPort returns the port on u that reaches the adjacent switch
+// v (local or global) and whether such a direct connection exists.
+func (t *Topology) AdjacentPort(u, v int) (port int, ok bool) {
+	if u == v {
+		return 0, false
+	}
+	if t.SameGroup(u, v) {
+		return t.LocalPort(u, v), true
+	}
+	for gp := 0; gp < t.H; gp++ {
+		if int(t.globalPeer[u][gp]) == v {
+			return t.GlobalPort(gp), true
+		}
+	}
+	return 0, false
+}
+
+// Validate rechecks the structural invariants. It is used by the
+// property tests and is cheap enough to call on construction-sized
+// topologies in CI.
+func (t *Topology) Validate() error {
+	n := t.NumSwitches()
+	if t.K*(t.G-1) != t.A*t.H {
+		return fmt.Errorf("topo: K=%d does not tile a*h=%d over g-1=%d", t.K, t.A*t.H, t.G-1)
+	}
+	pairCount := make(map[[2]int]int)
+	for sw := 0; sw < n; sw++ {
+		for gp := 0; gp < t.H; gp++ {
+			peer := int(t.globalPeer[sw][gp])
+			ppt := int(t.globalPeerPort[sw][gp])
+			if peer < 0 || peer >= n {
+				return fmt.Errorf("topo: switch %d global port %d peer %d out of range", sw, gp, peer)
+			}
+			if t.SameGroup(sw, peer) {
+				return fmt.Errorf("topo: switch %d global port %d stays in group", sw, gp)
+			}
+			// Bidirectional consistency: the peer's port points back.
+			if int(t.globalPeer[peer][ppt]) != sw || int(t.globalPeerPort[peer][ppt]) != gp {
+				return fmt.Errorf("topo: link (%d,%d)<->(%d,%d) not symmetric", sw, gp, peer, ppt)
+			}
+			pairCount[[2]int{t.GroupOf(sw), t.GroupOf(peer)}]++
+		}
+	}
+	for gi := 0; gi < t.G; gi++ {
+		for gj := 0; gj < t.G; gj++ {
+			if gi == gj {
+				continue
+			}
+			if c := pairCount[[2]int{gi, gj}]; c != t.K {
+				return fmt.Errorf("topo: groups (%d,%d) joined by %d links, want %d", gi, gj, c, t.K)
+			}
+		}
+	}
+	return nil
+}
+
+// Table2Row mirrors a row of the paper's Table 2.
+type Table2Row struct {
+	Topology          string
+	PEs               int
+	Switches          int
+	Groups            int
+	LinksPerGroupPair int
+}
+
+// Table2 returns this topology's Table 2 row.
+func (t *Topology) Table2() Table2Row {
+	return Table2Row{
+		Topology:          t.Params.String(),
+		PEs:               t.NumNodes(),
+		Switches:          t.NumSwitches(),
+		Groups:            t.G,
+		LinksPerGroupPair: t.K,
+	}
+}

@@ -1,0 +1,254 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+func TestShiftDest(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	s := Shift{T: tp, DG: 2, DS: 1}
+	// Node (g0, s0, n1) -> (g2, s1, n1).
+	src := tp.NodeID(tp.SwitchID(0, 0), 1)
+	want := tp.NodeID(tp.SwitchID(2, 1), 1)
+	if got := s.DestOf(src); got != want {
+		t.Fatalf("DestOf=%d want %d", got, want)
+	}
+	// Wrap-around.
+	src = tp.NodeID(tp.SwitchID(8, 3), 0)
+	want = tp.NodeID(tp.SwitchID(1, 0), 0)
+	if got := s.DestOf(src); got != want {
+		t.Fatalf("wrap DestOf=%d want %d", got, want)
+	}
+}
+
+// TestShiftBijective: every shift pattern is a bijection on nodes.
+func TestShiftBijective(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 5)
+	f := func(dg, ds uint8) bool {
+		s := Shift{T: tp, DG: int(dg) % tp.G, DS: int(ds) % tp.A}
+		seen := make(map[int]bool, tp.NumNodes())
+		for n := 0; n < tp.NumNodes(); n++ {
+			d := s.DestOf(n)
+			if d < 0 || d >= tp.NumNodes() || seen[d] {
+				return false
+			}
+			seen[d] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftAdversarialProperty(t *testing.T) {
+	// shift(k, 0): every node of switch s in group g sends to the
+	// same in-group switch index in group g+k — the group-pair
+	// stressing property.
+	tp := topo.MustNew(4, 8, 4, 9)
+	s := Shift{T: tp, DG: 2, DS: 0}
+	for n := 0; n < tp.NumNodes(); n++ {
+		d := s.DestOf(n)
+		if tp.SwitchOfNode(d)%tp.A != tp.SwitchOfNode(n)%tp.A {
+			t.Fatalf("shift(2,0) changed switch index")
+		}
+		if tp.GroupOfNode(d) != (tp.GroupOfNode(n)+2)%tp.G {
+			t.Fatalf("shift(2,0) wrong group")
+		}
+		if tp.NodeIndex(d) != tp.NodeIndex(n) {
+			t.Fatalf("shift(2,0) changed node index")
+		}
+	}
+}
+
+func TestUniformDest(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 3)
+	u := Uniform{T: tp}
+	r := rng.New(1)
+	counts := make([]int, tp.NumNodes())
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		d, ok := u.Dest(r, 5)
+		if !ok || d == 5 {
+			t.Fatal("uniform returned self or not ok")
+		}
+		counts[d]++
+	}
+	exp := float64(trials) / float64(tp.NumNodes()-1)
+	for n, c := range counts {
+		if n == 5 {
+			continue
+		}
+		if float64(c) < exp*0.7 || float64(c) > exp*1.3 {
+			t.Fatalf("node %d count %d far from expected %.0f", n, c, exp)
+		}
+	}
+}
+
+func TestPermutationBijective(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	p := NewPermutation(tp, 42)
+	seen := make(map[int]bool)
+	for n := 0; n < tp.NumNodes(); n++ {
+		d := p.DestOf(n)
+		if seen[d] {
+			t.Fatalf("permutation maps two sources to %d", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != tp.NumNodes() {
+		t.Fatal("permutation not a bijection")
+	}
+}
+
+func TestType1SetSize(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	set := Type1Set(tp)
+	if len(set) != (tp.G-1)*tp.A {
+		t.Fatalf("TYPE_1_SET size %d want %d", len(set), (tp.G-1)*tp.A)
+	}
+	// All patterns distinct in their (dg, ds).
+	seen := map[string]bool{}
+	for _, p := range set {
+		if seen[p.Name()] {
+			t.Fatalf("duplicate pattern %s", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+}
+
+func TestGroupPermutationProperties(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	for seed := uint64(0); seed < 10; seed++ {
+		p := NewGroupPermutation(tp, seed)
+		groupDst := make(map[int]int)
+		for n := 0; n < tp.NumNodes(); n++ {
+			d := p.DestOf(n)
+			gs, gd := tp.GroupOfNode(n), tp.GroupOfNode(d)
+			if gs == gd {
+				t.Fatalf("seed %d: group fixed point %d", seed, gs)
+			}
+			if prev, ok := groupDst[gs]; ok && prev != gd {
+				t.Fatalf("seed %d: group %d maps to two groups", seed, gs)
+			}
+			groupDst[gs] = gd
+			if tp.NodeIndex(d) != tp.NodeIndex(n) {
+				t.Fatalf("node index changed")
+			}
+		}
+		// Group map must be a permutation.
+		seen := map[int]bool{}
+		for _, gd := range groupDst {
+			if seen[gd] {
+				t.Fatalf("seed %d: two groups map to one", seed)
+			}
+			seen[gd] = true
+		}
+		// Node-level bijection.
+		nseen := map[int]bool{}
+		for n := 0; n < tp.NumNodes(); n++ {
+			d := p.DestOf(n)
+			if nseen[d] {
+				t.Fatalf("seed %d: node collision", seed)
+			}
+			nseen[d] = true
+		}
+	}
+}
+
+func TestType2SetDistinct(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	set := Type2Set(tp, 20, 7)
+	if len(set) != 20 {
+		t.Fatalf("size %d", len(set))
+	}
+	// At least two patterns should differ somewhere.
+	differ := false
+	for n := 0; n < tp.NumNodes() && !differ; n++ {
+		if set[0].DestOf(n) != set[1].DestOf(n) {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Error("TYPE_2 patterns identical across seeds")
+	}
+}
+
+func TestMixedSplit(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	adv := Shift{T: tp, DG: 1, DS: 0}
+	m := NewMixed(tp, 25, adv, 3)
+	ur := 0
+	for n := 0; n < tp.NumNodes(); n++ {
+		if m.isUR[n] {
+			ur++
+		}
+	}
+	want := tp.NumNodes() * 25 / 100
+	if ur != want {
+		t.Fatalf("UR nodes %d want %d", ur, want)
+	}
+	// ADV nodes behave deterministically.
+	r := rng.New(1)
+	for n := 0; n < tp.NumNodes(); n++ {
+		if !m.isUR[n] {
+			d, ok := m.Dest(r, n)
+			if !ok || d != adv.DestOf(n) {
+				t.Fatalf("ADV node %d not following shift", n)
+			}
+		}
+	}
+}
+
+func TestTimeMixedRatio(t *testing.T) {
+	tp := topo.MustNew(4, 8, 4, 9)
+	adv := Shift{T: tp, DG: 1, DS: 0}
+	m := NewTimeMixed(tp, 50, adv)
+	r := rng.New(2)
+	src := 3
+	advDst := adv.DestOf(src)
+	advCount := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		d, ok := m.Dest(r, src)
+		if !ok {
+			t.Fatal("not ok")
+		}
+		if d == advDst {
+			advCount++
+		}
+	}
+	frac := float64(advCount) / trials
+	if frac < 0.45 || frac > 0.56 {
+		t.Fatalf("adversarial fraction %.3f want ~0.5", frac)
+	}
+}
+
+func TestSwitchDemands(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	s := Shift{T: tp, DG: 1, DS: 0}
+	ds := SwitchDemands(tp, s)
+	// Every switch sends its p nodes to exactly one other switch.
+	if len(ds) != tp.NumSwitches() {
+		t.Fatalf("demand count %d want %d", len(ds), tp.NumSwitches())
+	}
+	for _, d := range ds {
+		if d.Rate != float64(tp.P) {
+			t.Fatalf("demand rate %v want %d", d.Rate, tp.P)
+		}
+		if tp.GroupOf(int(d.Dst)) != (tp.GroupOf(int(d.Src))+1)%tp.G {
+			t.Fatalf("demand to wrong group")
+		}
+	}
+	// Deterministic ordering.
+	ds2 := SwitchDemands(tp, s)
+	for i := range ds {
+		if ds[i] != ds2[i] {
+			t.Fatal("SwitchDemands not deterministic")
+		}
+	}
+}

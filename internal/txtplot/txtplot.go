@@ -1,0 +1,117 @@
+// Package txtplot renders small ASCII line charts for terminal
+// output — enough to see a latency-versus-load curve's knee without
+// leaving the shell. Used by cmd/figures and the examples.
+package txtplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Options configures a plot.
+type Options struct {
+	Width, Height int
+	// YCap clips y values (useful for latency curves where saturated
+	// points are +Inf); 0 means auto.
+	YCap   float64
+	XLabel string
+	YLabel string
+}
+
+// Render draws the series into a text canvas.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	// Bounds.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) {
+				continue
+			}
+			if opt.YCap > 0 && y > opt.YCap {
+				y = opt.YCap
+			}
+			if math.IsInf(y, 0) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		return "(no finite data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) {
+				continue
+			}
+			clipped := false
+			if opt.YCap > 0 && y > opt.YCap {
+				y, clipped = opt.YCap, true
+			}
+			if math.IsInf(y, 0) {
+				continue
+			}
+			c := int((x - xmin) / (xmax - xmin) * float64(opt.Width-1))
+			r := opt.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opt.Height-1))
+			ch := m
+			if clipped {
+				ch = '^'
+			}
+			grid[r][c] = ch
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.1f ┤", ymax)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for r := 1; r < opt.Height-1; r++ {
+		b.WriteString("           │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10.1f ┤", ymin)
+	b.Write(grid[opt.Height-1])
+	b.WriteByte('\n')
+	b.WriteString("           └" + strings.Repeat("─", opt.Width) + "\n")
+	fmt.Fprintf(&b, "            %-10.3f%*s\n", xmin, opt.Width-10, fmt.Sprintf("%.3f", xmax))
+	if opt.YLabel != "" || opt.XLabel != "" {
+		fmt.Fprintf(&b, "            y: %s   x: %s\n", opt.YLabel, opt.XLabel)
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	b.WriteString("            " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package txtplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{
+		{Name: "a", X: []float64{0, 1, 2}, Y: []float64{10, 20, 30}},
+		{Name: "b", X: []float64{0, 1, 2}, Y: []float64{30, 20, 10}},
+	}
+	out := Render(s, Options{Width: 40, Height: 10, XLabel: "load", YLabel: "latency"})
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "30.0") || !strings.Contains(out, "10.0") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("series a markers missing:\n%s", out)
+	}
+}
+
+func TestRenderInfClipped(t *testing.T) {
+	s := []Series{{
+		Name: "lat",
+		X:    []float64{0.1, 0.2, 0.3},
+		Y:    []float64{40, 60, math.Inf(1)},
+	}}
+	out := Render(s, Options{Width: 30, Height: 8, YCap: 500})
+	// Infinite point dropped, finite ones plotted.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no markers:\n%s", out)
+	}
+	// Values above the cap appear as clip marks.
+	s[0].Y[2] = 10000
+	out = Render(s, Options{Width: 30, Height: 8, YCap: 500})
+	if !strings.Contains(out, "^") {
+		t.Fatalf("clip marker missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render([]Series{{Name: "x"}}, Options{})
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("empty render: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	out := Render([]Series{{Name: "p", X: []float64{1}, Y: []float64{5}}}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
