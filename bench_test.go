@@ -123,6 +123,64 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 	b.ReportMetric(2000*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkParallelSweep compares one latency sweep (6 load points x
+// 2 seeds, adversarial traffic) on a sequential one-worker pool
+// against the GOMAXPROCS-sized default. Both sub-benchmarks produce
+// bit-identical curves; the ratio of their ns/op is the execution
+// engine's wall-clock speedup on this machine (~linear in cores until
+// the 12 independent runs are exhausted; no speedup on a single-core
+// host). EXPERIMENTS.md records measured numbers.
+func BenchmarkParallelSweep(b *testing.B) {
+	t := tugal.MustTopology(4, 8, 4, 9)
+	cfg := tugal.DefaultSimConfig()
+	pat := tugal.Shift(t, 2, 0)
+	rates := []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3}
+	w := tugal.SweepWindows{Warmup: 1000, Measure: 800, Drain: 1500}
+	sweepOnce := func(b *testing.B) tugal.SweepCurve {
+		c := tugal.LatencyCurve(t, cfg, tugal.NewUGALL(t, tugal.FullVLB(t)),
+			pat, rates, w, 2)
+		if len(c.Points) != len(rates) {
+			b.Fatalf("curve has %d points", len(c.Points))
+		}
+		return c
+	}
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			prev := tugal.SetDefaultPool(tugal.NewPool(workers))
+			defer tugal.SetDefaultPool(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sweepOnce(b)
+			}
+		}
+	}
+	b.Run("sequential", run(1))
+	b.Run("pool", run(0))
+}
+
+// TestParallelSweepBenchmarkAgrees pins what BenchmarkParallelSweep
+// assumes: the two pool sizes produce the same curve.
+func TestParallelSweepBenchmarkAgrees(t *testing.T) {
+	tp := tugal.MustTopology(2, 4, 2, 9)
+	cfg := tugal.DefaultSimConfig()
+	pat := tugal.Shift(tp, 1, 0)
+	rates := []float64{0.05, 0.15}
+	w := tugal.SweepWindows{Warmup: 800, Measure: 600, Drain: 1200}
+	curve := func(workers int) tugal.SweepCurve {
+		prev := tugal.SetDefaultPool(tugal.NewPool(workers))
+		defer tugal.SetDefaultPool(prev)
+		return tugal.LatencyCurve(tp, cfg, tugal.NewUGALL(tp, tugal.FullVLB(tp)),
+			pat, rates, w, 2)
+	}
+	seq, par := curve(1), curve(0)
+	for i := range rates {
+		if seq.Points[i] != par.Points[i] {
+			t.Fatalf("point %d differs:\nseq %+v\npar %+v", i, seq.Points[i], par.Points[i])
+		}
+	}
+}
+
 // BenchmarkTVLBQuick runs the full Algorithm-1 pipeline at its
 // smallest usable configuration on a small topology.
 func BenchmarkTVLBQuick(b *testing.B) {

@@ -1,9 +1,14 @@
 // Command experiment runs a JSON-defined suite of simulation sweeps
 // and writes results as JSON and aligned text.
 //
+// Suite entries (and every simulation run inside them) execute
+// concurrently on a shared worker pool; output is collected and
+// printed in suite order, and results are bit-identical for any
+// -workers value.
+//
 // Usage:
 //
-//	experiment -suite suite.json [-o results.json]
+//	experiment -suite suite.json [-o results.json] [-workers N] [-progress]
 //	experiment -example              # print an example suite
 package main
 
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"tugal/internal/exec"
 	"tugal/internal/spec"
 )
 
@@ -43,6 +49,8 @@ func main() {
 	suitePath := flag.String("suite", "", "path to a JSON suite definition")
 	out := flag.String("o", "", "write results JSON to this file")
 	example := flag.Bool("example", false, "print an example suite and exit")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
 	flag.Parse()
 
 	if *example {
@@ -65,16 +73,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	var results []*spec.ExperimentResult
+	pool := exec.NewPool(*workers)
+	if *progress {
+		pool.SetObserver(exec.Progress(os.Stderr))
+	}
+
+	// Run every suite entry on the pool, then print in suite order.
+	results := make([]*spec.ExperimentResult, len(suite.Experiments))
+	errs := make([]error, len(suite.Experiments))
+	pool.Run("suite", len(suite.Experiments), func(i int) int64 {
+		results[i], errs[i] = suite.Experiments[i].RunOn(pool)
+		return 0
+	})
 	for i := range suite.Experiments {
 		e := &suite.Experiments[i]
-		fmt.Printf("== %s (%s, %s)\n", e.Name, e.Topology, e.Pattern)
-		res, err := e.Run()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiment:", err)
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", errs[i])
 			os.Exit(1)
 		}
-		results = append(results, res)
+		res := results[i]
+		fmt.Printf("== %s (%s, %s)\n", e.Name, e.Topology, e.Pattern)
 		for _, c := range res.Curves {
 			fmt.Printf("  %-12s sat=%.3f", c.Name, c.SaturationThroughput())
 			for _, p := range c.Points {

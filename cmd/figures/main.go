@@ -6,7 +6,7 @@
 //
 //	figures -list
 //	figures -exp fig6
-//	figures -exp all -scale paper -o out/
+//	figures -exp all -scale paper -o out/ -workers 8 -progress
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"tugal/internal/exec"
 	"tugal/internal/figures"
 	"tugal/internal/txtplot"
 )
@@ -29,7 +30,18 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	seeds := flag.Int("seeds", 1, "simulation seeds per point")
 	outDir := flag.String("o", "", "directory for TSV output (optional)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
 	flag.Parse()
+
+	// Figure runners schedule onto the default pool; size it (and
+	// attach the progress observer) before anything runs. Results are
+	// bit-identical for any -workers value.
+	pool := exec.NewPool(*workers)
+	if *progress {
+		pool.SetObserver(exec.Progress(os.Stderr))
+	}
+	exec.SetDefault(pool)
 
 	if *list {
 		for _, id := range figures.All() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"tugal/internal/exec"
 	"tugal/internal/flow"
 	"tugal/internal/netsim"
 	"tugal/internal/paths"
@@ -220,19 +221,23 @@ func vicinity(curve []ProbePoint, best DataPoint, opt Options) []DataPoint {
 
 // simulateScore runs the Step-2 simulation for one policy: average
 // saturation throughput over TYPE_2 patterns under the configured
-// UGAL variant (UGAL-L, as a practical deployable scheme).
+// UGAL variant (UGAL-L, as a practical deployable scheme). The
+// patterns are independent saturation searches and run concurrently
+// on the default pool; scores land by pattern index, so the mean is
+// identical to the former sequential loop.
 func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
-	var scores []float64
-	for i := 0; i < opt.Sim.Patterns; i++ {
+	scores := make([]float64, opt.Sim.Patterns)
+	pool := exec.Default()
+	pool.Run("tvlb/score", opt.Sim.Patterns, func(i int) int64 {
 		patSeed := rng.Hash64(opt.Seed, 0x5e2, uint64(i))
 		pf := func(seed uint64) traffic.Pattern {
 			return traffic.NewGroupPermutation(t, rng.Hash64(patSeed, seed))
 		}
 		rf := routing.NewUGALL(t, pol)
-		sat := sweep.Saturation(t, opt.Sim.Config, rf, pf, opt.Sim.Windows,
-			opt.Sim.Seeds, opt.Sim.Resolution)
-		scores = append(scores, sat)
-	}
+		scores[i] = sweep.SaturationOn(pool, t, opt.Sim.Config, rf, pf,
+			opt.Sim.Windows, opt.Sim.Seeds, opt.Sim.Resolution)
+		return 0
+	})
 	return stats.Mean(scores)
 }
 
@@ -280,18 +285,25 @@ func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
 		}
 	}
 
-	// Load-balance adjustment, then simulate every candidate.
-	for _, c := range cands {
+	// Load-balance adjustment, then simulate every candidate. The
+	// candidates are independent of each other and evaluate
+	// concurrently on the default pool, written by index so the
+	// reported order (and the winner of score ties below) is stable.
+	res.Candidates = make([]Candidate, len(cands))
+	pool := exec.Default()
+	pool.Run("tvlb/candidates", len(cands), func(i int) int64 {
+		c := cands[i]
 		adj, rep := Rebalance(t, c.pol, opt.LB)
 		adj.Label = "T-VLB(" + c.name + ")"
 		score := simulateScore(t, adj, opt)
-		res.Candidates = append(res.Candidates, Candidate{
+		res.Candidates[i] = Candidate{
 			Name:          c.name,
 			Policy:        adj,
 			RemovedPaths:  rep.LocalRemoved + rep.GlobalRemoved,
 			SimThroughput: score,
-		})
-	}
+		}
+		return 0
+	})
 
 	// Conventional UGAL baseline under the identical simulation.
 	res.BaselineThroughput = simulateScore(t, paths.Full{T: t}, opt)

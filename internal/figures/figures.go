@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"tugal/internal/core"
+	"tugal/internal/exec"
 	"tugal/internal/netsim"
 	"tugal/internal/paths"
 	"tugal/internal/routing"
@@ -224,17 +225,26 @@ func mkSchemes(t *topo.Topology, opt Options, which ...string) []scheme {
 	return out
 }
 
-// latencyFigure sweeps each scheme over the rates for a pattern.
+// latencyFigure sweeps each scheme over the rates for a pattern. The
+// per-scheme curves run concurrently on the default pool and land in
+// a slice by index, so series order (and content) matches the former
+// sequential loop exactly.
 func latencyFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
 	rates []float64, large bool, which ...string) (*Result, error) {
 	res := &Result{}
 	w := opt.windows(large)
-	for _, s := range mkSchemes(t, opt, which...) {
+	schemes := mkSchemes(t, opt, which...)
+	curves := make([]sweep.Curve, len(schemes))
+	pool := exec.Default()
+	pool.Run("figure/latency", len(schemes), func(i int) int64 {
 		cfg := netsim.DefaultConfig()
-		cfg.NumVCs = s.vcs
+		cfg.NumVCs = schemes[i].vcs
 		cfg.Seed = opt.Seed
-		c := sweep.LatencyCurve(t, cfg, s.rf, pf, rates, w, opt.Seeds)
-		res.Series = append(res.Series, Series{Name: s.rf.Name(), Points: c.Points})
+		curves[i] = sweep.LatencyCurveOn(pool, t, cfg, schemes[i].rf, pf, rates, w, opt.Seeds)
+		return 0
+	})
+	for _, c := range curves {
+		res.Series = append(res.Series, Series{Name: c.Name, Points: c.Points})
 	}
 	res.Header = []string{"scheme", "saturation-throughput", "latency@low-load"}
 	for _, s := range res.Series {

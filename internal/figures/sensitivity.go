@@ -3,6 +3,7 @@ package figures
 import (
 	"fmt"
 
+	"tugal/internal/exec"
 	"tugal/internal/netsim"
 	"tugal/internal/routing"
 	"tugal/internal/sweep"
@@ -25,31 +26,48 @@ type variant struct {
 }
 
 // sensitivityFigure runs conventional+T of one mode across variants.
+// Every (variant, scheme) cell is an independent sweep; the cells run
+// concurrently on the default pool, each on its own routing instance
+// (mkSchemes builds a fresh one per cell), and land by index so the
+// output order matches the former nested loops.
 func sensitivityFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
 	rates []float64, mode string, variants []variant) (*Result, error) {
 	res := &Result{Header: []string{"scheme", "saturation-throughput", "latency@low-load"}}
 	w := opt.windows(false)
+	type cell struct {
+		v    variant
+		name string
+	}
+	var cells []cell
 	for _, v := range variants {
 		for _, name := range []string{mode, "T-" + mode} {
-			ss := mkSchemes(t, opt, name)
-			s := ss[0]
-			cfg := v.cfg
-			cfg.Seed = opt.Seed
-			if cfg.NumVCs == 0 {
-				cfg.NumVCs = s.vcs
-			}
-			if u, ok := s.rf.(*routing.UGAL); ok {
-				u.Scheme = v.scheme
-			}
-			c := sweep.LatencyCurve(t, cfg, s.rf, pf, rates, w, opt.Seeds)
-			label := fmt.Sprintf("%s(%s)", s.rf.Name(), v.suffix)
-			res.Series = append(res.Series, Series{Name: label, Points: c.Points})
-			res.Rows = append(res.Rows, []string{
-				label,
-				fmt.Sprintf("%.3f", c.SaturationThroughput()),
-				fmt.Sprintf("%.1f", c.Points[0].Latency),
-			})
+			cells = append(cells, cell{v, name})
 		}
+	}
+	curves := make([]sweep.Curve, len(cells))
+	labels := make([]string, len(cells))
+	pool := exec.Default()
+	pool.Run("figure/sensitivity", len(cells), func(i int) int64 {
+		s := mkSchemes(t, opt, cells[i].name)[0]
+		cfg := cells[i].v.cfg
+		cfg.Seed = opt.Seed
+		if cfg.NumVCs == 0 {
+			cfg.NumVCs = s.vcs
+		}
+		if u, ok := s.rf.(*routing.UGAL); ok {
+			u.Scheme = cells[i].v.scheme
+		}
+		curves[i] = sweep.LatencyCurveOn(pool, t, cfg, s.rf, pf, rates, w, opt.Seeds)
+		labels[i] = fmt.Sprintf("%s(%s)", s.rf.Name(), cells[i].v.suffix)
+		return 0
+	})
+	for i, c := range curves {
+		res.Series = append(res.Series, Series{Name: labels[i], Points: c.Points})
+		res.Rows = append(res.Rows, []string{
+			labels[i],
+			fmt.Sprintf("%.3f", c.SaturationThroughput()),
+			fmt.Sprintf("%.1f", c.Points[0].Latency),
+		})
 	}
 	return res, nil
 }

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want string", r, r)
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not mention %q", msg, substr)
+		}
+	}()
+	fn()
+}
+
+// TestScheduleRejectsOutOfWheelDelay: the wheel is sized maxLat+2 at
+// construction; a delay at or past the wheel length would wrap and
+// deliver early. A latency raised after New must panic, not corrupt
+// timing.
+func TestScheduleRejectsOutOfWheelDelay(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	n := New(tp, DefaultConfig(), minRouter{tp}, traffic.Uniform{T: tp}, 0.1)
+
+	// In-range delays are fine.
+	n.schedule(0, event{r: 0, port: int8(tp.P), vc: 0})
+	n.schedule(len(n.wheel)-1, event{r: 0, port: int8(tp.P), vc: 0})
+
+	mustPanic(t, "timing wheel", func() {
+		n.schedule(len(n.wheel), event{r: 0, port: int8(tp.P), vc: 0})
+	})
+	mustPanic(t, "timing wheel", func() {
+		n.schedule(-1, event{r: 0, port: int8(tp.P), vc: 0})
+	})
+
+	// The documented trap: raising a channel latency after New. The
+	// simulator must fail loudly at the first scheduled event.
+	n2 := New(tp, DefaultConfig(), minRouter{tp}, traffic.Uniform{T: tp}, 0.3)
+	for i := range n2.routers {
+		for j := range n2.routers[i].outLat {
+			n2.routers[i].outLat[j] = int16(len(n2.wheel)) // beyond the wheel
+		}
+	}
+	mustPanic(t, "timing wheel", func() {
+		for i := 0; i < 5000; i++ {
+			n2.step()
+		}
+	})
+}
+
+// TestRunRejectsNonPositiveMeasure: OfferedLoad/Throughput divide by
+// the measurement window, so measure <= 0 must panic instead of
+// returning NaN rates.
+func TestRunRejectsNonPositiveMeasure(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	for _, measure := range []int64{0, -5} {
+		n := New(tp, DefaultConfig(), minRouter{tp}, traffic.Uniform{T: tp}, 0.1)
+		mustPanic(t, "measure > 0", func() { n.Run(100, measure, 100) })
+	}
+}

@@ -115,6 +115,13 @@ type RoutingFunc interface {
 	// an input buffer at switch sw; it may rewrite the remaining
 	// route. Implementations that never revise can no-op.
 	Revise(n *Network, r *rng.Source, f *Flit, sw int32)
+	// CloneRouting returns an independent instance safe to hand to a
+	// concurrently running simulation. Implementations with per-packet
+	// scratch state must copy it; stateless implementations may return
+	// themselves. Every simulation fan-out (seeds, load points,
+	// figure curves) clones the routing function per run through this
+	// method, so there is no sequential fallback anywhere.
+	CloneRouting() RoutingFunc
 }
 
 // chanRef identifies the far end of a channel: a (router, port) pair.

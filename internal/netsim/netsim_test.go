@@ -43,6 +43,9 @@ func (m minRouter) SourceRoute(n *Network, r *rng.Source, f *Flit) {
 
 func (m minRouter) Revise(*Network, *rng.Source, *Flit, int32) {}
 
+// minRouter keeps no per-packet state, so it is its own clone.
+func (m minRouter) CloneRouting() RoutingFunc { return m }
+
 func TestConservation(t *testing.T) {
 	tp := topo.MustNew(2, 4, 2, 9)
 	cfg := DefaultConfig()

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/bits"
 
@@ -52,8 +53,14 @@ const watchdogWindow = 2000
 // Run simulates warmup cycles, a measurement window, and a drain
 // phase (capped at drainCap cycles) and returns the results. The
 // paper's settings are warmup=30000 (three 10000-cycle windows),
-// measure=10000.
+// measure=10000. measure must be positive: OfferedLoad and
+// Throughput are rates per measurement cycle, so a zero or negative
+// window has no defined result (it would produce NaN/Inf statistics).
 func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
+	if measure <= 0 {
+		panic(fmt.Sprintf("netsim: Run requires measure > 0 (got %d); "+
+			"rates are normalized by the measurement window", measure))
+	}
 	n.resetMeasurement()
 	n.measBegin = n.now + warmup
 	n.measEnd = n.measBegin + measure
@@ -271,8 +278,16 @@ func (n *Network) refreshHead(rt *router, slot int, f *Flit) {
 	rt.headCache[slot] = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
 }
 
-// schedule enqueues an event at now+delay.
+// schedule enqueues an event at now+delay. The timing wheel is sized
+// maxLat+2 at construction; a delay at or beyond the wheel length
+// would wrap and deliver the event too early, silently corrupting
+// timing, so any config path that raises a latency after New must be
+// rejected here.
 func (n *Network) schedule(delay int, ev event) {
+	if delay < 0 || delay >= len(n.wheel) {
+		panic(fmt.Sprintf("netsim: schedule delay %d outside timing wheel [0,%d); "+
+			"channel latencies must not change after New", delay, len(n.wheel)))
+	}
 	slot := int(n.now+int64(delay)) % len(n.wheel)
 	n.wheel[slot] = append(n.wheel[slot], ev)
 }

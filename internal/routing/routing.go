@@ -118,9 +118,9 @@ func NewVLB(t *topo.Topology, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: VLBOnly}
 }
 
-// CloneRouting returns an independent copy with fresh scratch
-// buffers, letting sweeps run load points concurrently (see
-// sweep.Cloner).
+// CloneRouting implements netsim.RoutingFunc: an independent copy
+// with fresh scratch buffers, letting the execution engine run
+// seeds and load points concurrently.
 func (u *UGAL) CloneRouting() netsim.RoutingFunc {
 	c := *u
 	c.minBuf = paths.Path{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"tugal/internal/exec"
 	"tugal/internal/netsim"
 	"tugal/internal/rng"
 	"tugal/internal/sweep"
@@ -133,8 +134,16 @@ type ExperimentResult struct {
 	Curves []sweep.Curve `json:"curves"`
 }
 
-// Run executes the experiment.
+// Run executes the experiment on the default pool.
 func (e *Experiment) Run() (*ExperimentResult, error) {
+	return e.RunOn(exec.Default())
+}
+
+// RunOn executes the experiment on an explicit pool. Every routing
+// entry is resolved (and its errors reported) up front; the per-entry
+// sweeps then run concurrently and land in Curves by entry index, so
+// the result is identical to the former sequential loop.
+func (e *Experiment) RunOn(pool *exec.Pool) (*ExperimentResult, error) {
 	t, err := Topology(e.Topology)
 	if err != nil {
 		return nil, err
@@ -143,7 +152,9 @@ func (e *Experiment) Run() (*ExperimentResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Validate the pattern spec once up front.
+	// Validate the pattern spec once up front; the factory builds a
+	// fresh instance per simulation run, so concurrent runs never
+	// share pattern state.
 	if _, err := Pattern(t, e.Pattern, e.Seed); err != nil {
 		return nil, err
 	}
@@ -154,9 +165,9 @@ func (e *Experiment) Run() (*ExperimentResult, error) {
 		}
 		return p
 	}
-	res := &ExperimentResult{Name: e.Name}
-	w := sweep.Windows{Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain}
-	for _, rname := range e.Routing {
+	rfs := make([]netsim.RoutingFunc, len(e.Routing))
+	cfgs := make([]netsim.Config, len(e.Routing))
+	for i, rname := range e.Routing {
 		rf, vcs, err := Routing(t, rname, pol)
 		if err != nil {
 			return nil, err
@@ -174,8 +185,14 @@ func (e *Experiment) Run() (*ExperimentResult, error) {
 		if e.VCs > 0 {
 			cfg.NumVCs = e.VCs
 		}
-		res.Curves = append(res.Curves,
-			sweep.LatencyCurve(t, cfg, rf, pf, e.Rates, w, e.Seeds))
+		rfs[i], cfgs[i] = rf, cfg
 	}
+	res := &ExperimentResult{Name: e.Name}
+	w := sweep.Windows{Warmup: e.Warmup, Measure: e.Measure, Drain: e.Drain}
+	res.Curves = make([]sweep.Curve, len(rfs))
+	pool.Run("suite/"+e.Name, len(rfs), func(i int) int64 {
+		res.Curves[i] = sweep.LatencyCurveOn(pool, t, cfgs[i], rfs[i], pf, e.Rates, w, e.Seeds)
+		return 0
+	})
 	return res, nil
 }

@@ -2,14 +2,22 @@
 // curves (the x/y series of Figures 6-18) and saturation-throughput
 // searches (the paper's "last injection rate before saturation"
 // metric), with multi-seed averaging.
+//
+// All independent runs — the seeds of one point, the points of one
+// curve, the bracket probes of a saturation search — are scheduled
+// onto a shared exec.Pool. Results are deterministic regardless of
+// worker count: every run derives its seed from cfg.Seed exactly as
+// the sequential code did (rng.Hash64(cfg.Seed, seedIndex)), each
+// run gets its own routing-function clone and pattern instance, and
+// results are written by index then aggregated in index order.
 package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
+	"tugal/internal/exec"
 	"tugal/internal/netsim"
 	"tugal/internal/rng"
 	"tugal/internal/stats"
@@ -37,11 +45,19 @@ func QuickWindows() Windows {
 
 // PatternFactory builds a traffic pattern for a seed. Patterns with
 // frozen random structure (permutations, mixed node subsets) should
-// derive it from the seed so multi-seed runs vary it.
+// derive it from the seed so multi-seed runs vary it. The factory is
+// called once per simulation run (runs may execute concurrently), so
+// it must return an instance not mutated by any other run.
 type PatternFactory func(seed uint64) traffic.Pattern
 
-// Fixed adapts a seed-independent pattern.
+// Fixed adapts a seed-independent pattern. Stateless patterns are
+// shared across runs; patterns carrying per-run cursor state
+// (traffic.Cloner) are cloned per run so concurrently executing
+// simulations never share mutable state.
 func Fixed(p traffic.Pattern) PatternFactory {
+	if c, ok := p.(traffic.Cloner); ok {
+		return func(uint64) traffic.Pattern { return c.ClonePattern() }
+	}
 	return func(uint64) traffic.Pattern { return p }
 }
 
@@ -57,18 +73,10 @@ type Point struct {
 }
 
 // MarshalJSON encodes the point with saturated (+Inf) latency as
-// null, which encoding/json cannot represent natively.
+// null, which encoding/json cannot represent natively. UnmarshalJSON
+// inverts the mapping, so a marshal/unmarshal round trip is exact.
 func (p Point) MarshalJSON() ([]byte, error) {
-	type alias struct {
-		Offered     float64  `json:"offered"`
-		Latency     *float64 `json:"latency"`
-		LatencyErr  float64  `json:"latencyErr"`
-		Throughput  float64  `json:"throughput"`
-		VLBFraction float64  `json:"vlbFraction"`
-		AvgHops     float64  `json:"avgHops"`
-		Saturated   bool     `json:"saturated"`
-	}
-	a := alias{
+	a := pointJSON{
 		Offered:     p.Offered,
 		LatencyErr:  p.LatencyErr,
 		Throughput:  p.Throughput,
@@ -83,20 +91,69 @@ func (p Point) MarshalJSON() ([]byte, error) {
 	return json.Marshal(a)
 }
 
+// UnmarshalJSON decodes a point written by MarshalJSON: a null (or
+// absent) latency means the point saturated and is restored as +Inf,
+// matching what RunPoint produced before encoding.
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var a pointJSON
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	*p = Point{
+		Offered:     a.Offered,
+		LatencyErr:  a.LatencyErr,
+		Throughput:  a.Throughput,
+		VLBFraction: a.VLBFraction,
+		AvgHops:     a.AvgHops,
+		Saturated:   a.Saturated,
+	}
+	if a.Latency != nil {
+		p.Latency = *a.Latency
+	} else {
+		p.Latency = math.Inf(1)
+	}
+	return nil
+}
+
+// pointJSON is the wire form shared by MarshalJSON/UnmarshalJSON.
+type pointJSON struct {
+	Offered     float64  `json:"offered"`
+	Latency     *float64 `json:"latency"`
+	LatencyErr  float64  `json:"latencyErr"`
+	Throughput  float64  `json:"throughput"`
+	VLBFraction float64  `json:"vlbFraction"`
+	AvgHops     float64  `json:"avgHops"`
+	Saturated   bool     `json:"saturated"`
+}
+
 // RunPoint simulates one (routing, pattern, rate) point over seeds
-// and aggregates.
+// and aggregates, scheduling the seeds on the default pool.
 func RunPoint(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, rate float64, w Windows, seeds int) Point {
+	return RunPointOn(exec.Default(), t, cfg, rf, pf, rate, w, seeds)
+}
+
+// RunPointOn is RunPoint on an explicit pool. Each seed runs an
+// independent simulation (own routing clone, own pattern instance,
+// seed derived as rng.Hash64(cfg.Seed, seedIndex)); per-seed results
+// land in a slice by index and are aggregated in seed order, so the
+// point is bit-identical whatever the pool's worker count.
+func RunPointOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+	rf netsim.RoutingFunc, pf PatternFactory, rate float64, w Windows, seeds int) Point {
 	if seeds < 1 {
 		seeds = 1
 	}
-	var lat, thr, vlb, hops []float64
-	saturated := false
-	for s := 0; s < seeds; s++ {
+	results := make([]netsim.RunResult, seeds)
+	pool.Run(fmt.Sprintf("%s@%.3g", rf.Name(), rate), seeds, func(s int) int64 {
 		c := cfg
 		c.Seed = rng.Hash64(cfg.Seed, uint64(s))
-		n := netsim.New(t, c, rf, pf(c.Seed), rate)
-		res := n.Run(w.Warmup, w.Measure, w.Drain)
+		n := netsim.New(t, c, rf.CloneRouting(), pf(c.Seed), rate)
+		results[s] = n.Run(w.Warmup, w.Measure, w.Drain)
+		return results[s].Cycles
+	})
+	var lat, thr, vlb, hops []float64
+	saturated := false
+	for _, res := range results {
 		if res.Saturated {
 			saturated = true
 		}
@@ -120,9 +177,12 @@ func RunPoint(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 }
 
 // Curve is a latency-vs-offered-load series for one routing scheme.
+// The JSON keys are lowercase to match Point's wire form; decoding is
+// case-insensitive, so result files written before the tags existed
+// still load.
 type Curve struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // SaturationThroughput returns the highest load point that did not
@@ -137,73 +197,92 @@ func (c Curve) SaturationThroughput() float64 {
 	return best
 }
 
-// LatencyAt returns the mean latency at the point closest to load
-// (NaN when that point saturated).
+// LatencyAt returns the mean latency at the point closest to load,
+// or NaN when that point saturated (a saturated point's stored
+// latency is the +Inf sentinel, not a measurement).
 func (c Curve) LatencyAt(load float64) float64 {
 	bestD := math.Inf(1)
 	lat := math.NaN()
 	for _, p := range c.Points {
 		if d := math.Abs(p.Offered - load); d < bestD {
 			bestD = d
-			lat = p.Latency
+			if p.Saturated || math.IsInf(p.Latency, 0) {
+				lat = math.NaN()
+			} else {
+				lat = p.Latency
+			}
 		}
 	}
 	return lat
 }
 
-// Cloner is implemented by routing functions that can produce
-// independent copies of themselves (routing.UGAL does). Sweeps over
-// such functions run their load points concurrently; other routing
-// functions are swept sequentially, since RoutingFunc implementations
-// may keep per-packet scratch state.
-type Cloner interface {
-	CloneRouting() netsim.RoutingFunc
-}
-
-// LatencyCurve sweeps the given rates. Load points run in parallel
-// (one goroutine per point, capped by GOMAXPROCS) when rf implements
-// Cloner; results are deterministic either way because every point
-// derives its seeds from cfg.Seed alone.
+// LatencyCurve sweeps the given rates on the default pool.
 func LatencyCurve(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, rates []float64, w Windows, seeds int) Curve {
+	return LatencyCurveOn(exec.Default(), t, cfg, rf, pf, rates, w, seeds)
+}
+
+// LatencyCurveOn is LatencyCurve on an explicit pool. Load points run
+// concurrently, each on its own routing clone; every point derives
+// its seeds from cfg.Seed alone, so the curve is deterministic for
+// any worker count.
+func LatencyCurveOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+	rf netsim.RoutingFunc, pf PatternFactory, rates []float64, w Windows, seeds int) Curve {
 	c := Curve{Name: rf.Name(), Points: make([]Point, len(rates))}
-	cl, ok := rf.(Cloner)
-	if !ok || len(rates) < 2 {
-		for i, r := range rates {
-			c.Points[i] = RunPoint(t, cfg, rf, pf, r, w, seeds)
-		}
-		return c
-	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, r := range rates {
-		wg.Add(1)
-		go func(i int, r float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			c.Points[i] = RunPoint(t, cfg, cl.CloneRouting(), pf, r, w, seeds)
-		}(i, r)
-	}
-	wg.Wait()
+	pool.Run("curve/"+rf.Name(), len(rates), func(i int) int64 {
+		c.Points[i] = RunPointOn(pool, t, cfg, rf, pf, rates[i], w, seeds)
+		return 0
+	})
 	return c
 }
 
-// Saturation binary-searches the saturation throughput to the given
-// resolution: the largest rate whose run stays under the latency cap.
+// saturationProbes is the coarse grid of the bracket phase: the
+// probes are the first two levels of the former pure bisection of
+// [0, 1] plus the 1.0 endpoint, so on monotone instances the search
+// visits the same rates as before — it just runs them concurrently.
+var saturationProbes = []float64{0.25, 0.5, 0.75, 1.0}
+
+// Saturation searches the saturation throughput on the default pool.
 func Saturation(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, w Windows, seeds int, resolution float64) float64 {
+	return SaturationOn(exec.Default(), t, cfg, rf, pf, w, seeds, resolution)
+}
+
+// SaturationOn searches the saturation throughput to the given
+// resolution: the largest rate whose run stays under the latency cap.
+// The bracket phase evaluates a coarse probe grid concurrently on the
+// pool; the refinement bisects the bracket sequentially (each probe
+// depends on the previous outcome). Deterministic: every probe is a
+// RunPointOn with seeds derived from cfg.Seed.
+func SaturationOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+	rf netsim.RoutingFunc, pf PatternFactory, w Windows, seeds int, resolution float64) float64 {
 	if resolution <= 0 {
 		resolution = 0.01
 	}
-	lo, hi := 0.0, 1.0
-	// Establish an upper bracket fast: if 1.0 is unsaturated we are done.
-	if !RunPoint(t, cfg, rf, pf, hi, w, seeds).Saturated {
+	// Bracket phase: probe the coarse grid in parallel.
+	sat := make([]bool, len(saturationProbes))
+	pool.Run("saturation/bracket", len(saturationProbes), func(i int) int64 {
+		sat[i] = RunPointOn(pool, t, cfg, rf, pf, saturationProbes[i], w, seeds).Saturated
+		return 0
+	})
+	lo, hi := 0.0, saturationProbes[len(saturationProbes)-1]
+	bracketed := false
+	for i, s := range sat {
+		if s {
+			hi = saturationProbes[i]
+			bracketed = true
+			break
+		}
+		lo = saturationProbes[i]
+	}
+	if !bracketed {
+		// Even the highest probe (rate 1.0) stayed unsaturated.
 		return hi
 	}
+	// Refinement: bisect the bracket.
 	for hi-lo > resolution {
 		mid := (lo + hi) / 2
-		if RunPoint(t, cfg, rf, pf, mid, w, seeds).Saturated {
+		if RunPointOn(pool, t, cfg, rf, pf, mid, w, seeds).Saturated {
 			hi = mid
 		} else {
 			lo = mid

@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
+	"tugal/internal/exec"
 	"tugal/internal/netsim"
 	"tugal/internal/paths"
 	"tugal/internal/routing"
@@ -68,6 +70,68 @@ func TestLatencyAt(t *testing.T) {
 	}
 }
 
+// TestLatencyAtSaturatedIsNaN: the documented contract is NaN for a
+// saturated point — the stored +Inf is a sentinel, not a latency.
+func TestLatencyAtSaturatedIsNaN(t *testing.T) {
+	c := Curve{Points: []Point{
+		{Offered: 0.1, Latency: 30},
+		{Offered: 0.3, Latency: math.Inf(1), Saturated: true},
+	}}
+	if l := c.LatencyAt(0.29); !math.IsNaN(l) {
+		t.Fatalf("LatencyAt at a saturated point = %v, want NaN", l)
+	}
+	if l := c.LatencyAt(0.1); l != 30 {
+		t.Fatalf("LatencyAt(0.1) = %v", l)
+	}
+	if l := (Curve{}).LatencyAt(0.5); !math.IsNaN(l) {
+		t.Fatalf("LatencyAt on empty curve = %v, want NaN", l)
+	}
+}
+
+// TestPointJSONRoundTrip: MarshalJSON encodes a saturated point's
+// +Inf latency as null; UnmarshalJSON must restore it, not leave 0.
+func TestPointJSONRoundTrip(t *testing.T) {
+	points := []Point{
+		{Offered: 0.1, Latency: 31.5, LatencyErr: 0.25, Throughput: 0.099,
+			VLBFraction: 0.4, AvgHops: 2.5},
+		{Offered: 0.6, Latency: math.Inf(1), Throughput: 0.31,
+			VLBFraction: 0.9, AvgHops: 3.8, Saturated: true},
+	}
+	data, err := json.Marshal(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Point
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(points) {
+		t.Fatalf("round trip length %d", len(got))
+	}
+	if got[0] != points[0] {
+		t.Fatalf("unsaturated point changed:\nin  %+v\nout %+v", points[0], got[0])
+	}
+	if !math.IsInf(got[1].Latency, 1) {
+		t.Fatalf("saturated latency decoded as %v, want +Inf", got[1].Latency)
+	}
+	if !got[1].Saturated || got[1].Throughput != points[1].Throughput {
+		t.Fatalf("saturated point fields lost: %+v", got[1])
+	}
+	// A whole Curve (the shape cmd/experiment writes) round-trips too.
+	c := Curve{Name: "UGAL-L", Points: points}
+	data, err = json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gc Curve
+	if err := json.Unmarshal(data, &gc); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Name != c.Name || !math.IsInf(gc.Points[1].Latency, 1) {
+		t.Fatalf("curve round trip: %+v", gc)
+	}
+}
+
 func TestSaturationSearch(t *testing.T) {
 	tp, cfg, rf, _ := testEnv()
 	pf := Fixed(traffic.Shift{T: tp, DG: 1, DS: 0})
@@ -95,17 +159,15 @@ func TestSaturationHighForMinOnUniform(t *testing.T) {
 	}
 }
 
-// seqRF wraps a routing function hiding its Cloner implementation,
-// forcing the sequential sweep path.
-type seqRF struct{ netsim.RoutingFunc }
-
 func TestParallelSweepMatchesSequential(t *testing.T) {
 	tp, cfg, _, _ := testEnv()
 	pf := Fixed(traffic.Shift{T: tp, DG: 1, DS: 0})
 	rates := []float64{0.05, 0.1, 0.2}
 	w := QuickWindows()
-	par := LatencyCurve(tp, cfg, routing.NewUGALL(tp, paths.Full{T: tp}), pf, rates, w, 1)
-	seq := LatencyCurve(tp, cfg, seqRF{routing.NewUGALL(tp, paths.Full{T: tp})}, pf, rates, w, 1)
+	par := LatencyCurveOn(exec.NewPool(8), tp, cfg,
+		routing.NewUGALL(tp, paths.Full{T: tp}), pf, rates, w, 1)
+	seq := LatencyCurveOn(exec.NewPool(1), tp, cfg,
+		routing.NewUGALL(tp, paths.Full{T: tp}), pf, rates, w, 1)
 	for i := range rates {
 		if par.Points[i] != seq.Points[i] {
 			t.Fatalf("point %d differs:\npar %+v\nseq %+v", i, par.Points[i], seq.Points[i])

@@ -243,10 +243,9 @@ func (s *Stencil3D) Dest(r *rng.Source, src int) (int, bool) {
 // AllToAll cycles each node through every other destination in a
 // node-specific order, approximating a personalized all-to-all
 // (each packet goes to the next destination in the rotation). It
-// keeps per-source schedule state, so create one instance per
-// concurrently running simulation (unlike the stateless patterns it
-// must not be shared through a single sweep.Fixed across parallel
-// load points).
+// keeps per-source schedule state and therefore implements Cloner:
+// sweep.Fixed hands every concurrently running simulation its own
+// clone with a fresh schedule.
 type AllToAll struct {
 	T    *topo.Topology
 	next []int32
@@ -259,6 +258,10 @@ func NewAllToAll(t *topo.Topology) *AllToAll {
 
 // Name implements Pattern.
 func (a *AllToAll) Name() string { return "alltoall" }
+
+// ClonePattern implements Cloner: the clone starts its rotation from
+// the beginning, independent of the receiver.
+func (a *AllToAll) ClonePattern() Pattern { return NewAllToAll(a.T) }
 
 // Dest implements Pattern.
 func (a *AllToAll) Dest(_ *rng.Source, src int) (int, bool) {

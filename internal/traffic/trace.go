@@ -29,7 +29,11 @@ const traceMagic = "DFTR"
 const traceVersion = 1
 
 // Recorder wraps a pattern and appends every generated (src, dst) to
-// an in-memory trace. Not safe for concurrent simulations.
+// an in-memory trace. Not safe for concurrent simulations, and it
+// deliberately does not implement Cloner: cloning would scatter the
+// recording across instances. Capture traces with a single
+// sequential run (e.g. netsim.New + Run directly, or a one-worker
+// exec.Pool), then share the resulting Replay freely.
 type Recorder struct {
 	Base     Pattern
 	NumNodes int
@@ -82,7 +86,10 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 
 // Replay replays a recorded trace: each source receives its recorded
 // destinations in order; once a source's sub-stream is exhausted it
-// falls silent. Not safe for concurrent simulations.
+// falls silent. One Replay instance must not be shared by concurrent
+// simulations; it implements Cloner, so sweep.Fixed hands each
+// concurrently running simulation its own rewound clone (the
+// immutable per-source streams are shared, the cursors are not).
 type Replay struct {
 	numNodes int
 	perSrc   [][]int32
@@ -148,6 +155,17 @@ func (rp *Replay) Dest(_ *rng.Source, src int) (int, bool) {
 	}
 	rp.next[src] = k + 1
 	return int(rp.perSrc[src][k]), true
+}
+
+// ClonePattern implements Cloner: the clone shares the recorded
+// streams but replays them from the start with its own cursors.
+func (rp *Replay) ClonePattern() Pattern {
+	return &Replay{
+		numNodes: rp.numNodes,
+		perSrc:   rp.perSrc,
+		next:     make([]int32, rp.numNodes),
+		name:     rp.name,
+	}
 }
 
 // Rewind restarts every source's sub-stream.

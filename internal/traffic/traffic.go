@@ -22,6 +22,23 @@ type Pattern interface {
 	Dest(r *rng.Source, src int) (dst int, ok bool)
 }
 
+// Cloner is implemented by patterns that keep per-run mutable state
+// (per-source schedules, trace cursors): AllToAll and trace Replay.
+// ClonePattern returns an independent instance with fresh cursor
+// state, so concurrently running simulations never share it.
+// sweep.Fixed clones such patterns once per simulation run; patterns
+// NOT implementing Cloner declare themselves stateless — their Dest
+// must only read the receiver (every other pattern in this package:
+// Uniform, Shift, Permutation, Mixed, TimeMixed, GroupPermutation,
+// the extra benchmark patterns, Hotspot — all draw per-packet
+// randomness from the simulation's own rng.Source argument).
+type Cloner interface {
+	Pattern
+	// ClonePattern returns an independent equivalent pattern whose
+	// mutable cursors start fresh.
+	ClonePattern() Pattern
+}
+
 // Deterministic is implemented by patterns in which every source has
 // one fixed destination; such patterns admit an exact switch-level
 // demand matrix for the throughput model.

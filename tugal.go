@@ -29,6 +29,7 @@ package tugal
 
 import (
 	"tugal/internal/core"
+	"tugal/internal/exec"
 	"tugal/internal/figures"
 	"tugal/internal/flow"
 	"tugal/internal/netsim"
@@ -209,6 +210,32 @@ func SaturationThroughput(t *Topology, cfg SimConfig, rf RoutingFunc, pat Traffi
 	w SweepWindows, seeds int, resolution float64) float64 {
 	return sweep.Saturation(t, cfg, rf, sweep.Fixed(pat), w, seeds, resolution)
 }
+
+// Execution engine. Every independent-run fan-out (sweep seeds and
+// load points, figure curves, T-VLB candidate scoring) schedules onto
+// a shared bounded worker pool; results are bit-identical for any
+// worker count.
+
+// Pool is the bounded worker pool behind all simulation fan-outs.
+type Pool = exec.Pool
+
+// RunStat describes one completed simulation run (wall time,
+// simulated cycles, pool queue depth), delivered to a RunObserver.
+type RunStat = exec.Stat
+
+// RunObserver receives a RunStat after each run completes.
+type RunObserver = exec.Observer
+
+// NewPool builds a pool with the given concurrency bound (< 1 selects
+// GOMAXPROCS; 1 is strictly sequential).
+func NewPool(workers int) *Pool { return exec.NewPool(workers) }
+
+// DefaultPool returns the process-wide pool.
+func DefaultPool() *Pool { return exec.Default() }
+
+// SetDefaultPool replaces the process-wide pool (nil restores a
+// GOMAXPROCS-sized one) and returns the previous pool.
+func SetDefaultPool(p *Pool) *Pool { return exec.SetDefault(p) }
 
 // T-VLB computation (Algorithm 1).
 
