@@ -181,6 +181,50 @@ func TestParallelSweepBenchmarkAgrees(t *testing.T) {
 	}
 }
 
+// BenchmarkSampleVLB measures one candidate-path draw on the paper's
+// dfly(4,8,4,9), interpreted policy versus its compiled PathStore
+// form, for conventional UGAL's Full set and the restricted strategic
+// T-VLB set. The interpreted restricted sampler rejection-samples
+// (draw a full VLB path, test membership, retry); the compiled form
+// indexes the pair's PathID range directly — 0 allocs/op and the
+// speedup EXPERIMENTS.md records.
+func BenchmarkSampleVLB(b *testing.B) {
+	t := tugal.MustTopology(4, 8, 4, 9)
+	// Fixed inter-group switch pairs (a=8 switches per group).
+	pairs := [][2]int{{0, 20}, {3, 50}, {9, 65}, {14, 40}}
+	draw := func(pol tugal.PathPolicy) func(b *testing.B) {
+		return func(b *testing.B) {
+			r := tugal.NewRNG(1)
+			buf := tugal.Path{
+				Sw:    make([]int32, 0, 8),
+				Ports: make([]int8, 0, 8),
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if !pol.SampleVLBInto(r, p[0], p[1], &buf) {
+					b.Fatal("pair has no candidate path")
+				}
+			}
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		pol  tugal.PathPolicy
+	}{
+		{"full", tugal.FullVLB(t)},
+		{"strategic", tugal.StrategicVLB(t, 2)},
+	} {
+		st, ok := tugal.CompileVLB(t, tc.pol)
+		if !ok {
+			b.Fatalf("%s: policy did not fit the compile budget", tc.name)
+		}
+		b.Run(tc.name+"/interpreted", draw(tc.pol))
+		b.Run(tc.name+"/compiled", draw(st))
+	}
+}
+
 // BenchmarkTVLBQuick runs the full Algorithm-1 pipeline at its
 // smallest usable configuration on a small topology.
 func BenchmarkTVLBQuick(b *testing.B) {

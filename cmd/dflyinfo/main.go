@@ -1,18 +1,24 @@
 // Command dflyinfo prints the structural parameters of a Dragonfly
 // topology dfly(p,a,h,g) — the quantities of the paper's Table 2 —
-// plus path-diversity statistics for a sample switch pair.
+// plus path-diversity statistics for a sample switch pair, and, with
+// -policies, whole-topology candidate-set statistics per policy from
+// the compiled path store (pairs, paths, hop histogram, arena size).
 //
 // Usage:
 //
 //	dflyinfo -p 4 -a 8 -h 4 -g 9
+//	dflyinfo -p 4 -a 8 -h 4 -g 9 -policies full,strategic:2,capped:4:0.6
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"tugal/internal/paths"
+	"tugal/internal/spec"
 	"tugal/internal/topo"
 )
 
@@ -22,6 +28,7 @@ func main() {
 	h := flag.Int("h", 4, "global links per switch")
 	g := flag.Int("g", 9, "number of groups")
 	arrName := flag.String("arrangement", "absolute", "global link arrangement: absolute|relative")
+	policies := flag.String("policies", "", "comma-separated path policies to compile and summarize (e.g. full,strategic:2,capped:4:0.6)")
 	flag.Parse()
 
 	arr := topo.Absolute
@@ -72,5 +79,35 @@ func main() {
 			}
 		}
 		fmt.Printf("  total VLB paths:     %d\n", total)
+	}
+
+	for _, ps := range strings.Split(*policies, ",") {
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			continue
+		}
+		pol, err := spec.Policy(t, ps, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dflyinfo:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("\npolicy %s:\n", pol.Name())
+		est := paths.EstimatePaths(t, pol)
+		st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget)
+		if !ok {
+			fmt.Printf("  over compile budget: ~%d paths estimated (budget %d); interpreted sampling only\n",
+				est, paths.DefaultCompileBudget)
+			continue
+		}
+		s := st.Stats()
+		fmt.Printf("  pairs with paths:    %d of %d\n", s.Pairs, t.NumSwitches()*t.NumSwitches())
+		fmt.Printf("  total paths:         %d\n", s.Paths)
+		for hops, c := range s.HopHist {
+			if c > 0 {
+				fmt.Printf("  %d-hop paths:         %d\n", hops, c)
+			}
+		}
+		fmt.Printf("  store size:          %.1f MiB\n", float64(s.Bytes)/(1<<20))
+		fmt.Printf("  compile time:        %v\n", s.BuildTime.Round(time.Millisecond))
 	}
 }

@@ -9,6 +9,7 @@
 // Usage:
 //
 //	experiment -suite suite.json [-o results.json] [-workers N] [-progress]
+//	experiment -suite suite.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //	experiment -example              # print an example suite
 package main
 
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tugal/internal/exec"
 	"tugal/internal/spec"
@@ -45,32 +48,74 @@ const exampleSuite = `{
   ]
 }`
 
+// main delegates to run so deferred profile writers execute before
+// the process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	suitePath := flag.String("suite", "", "path to a JSON suite definition")
 	out := flag.String("o", "", "write results JSON to this file")
 	example := flag.Bool("example", false, "print an example suite and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *example {
 		fmt.Println(exampleSuite)
-		return
+		return 0
 	}
 	if *suitePath == "" {
 		fmt.Fprintln(os.Stderr, "experiment: -suite required (see -example)")
-		os.Exit(2)
+		return 2
 	}
 	f, err := os.Open(*suitePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
-		os.Exit(1)
+		return 1
 	}
 	suite, err := spec.LoadSuite(f)
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiment:", err)
-		os.Exit(1)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			cf.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			fmt.Fprintln(os.Stderr, "experiment: wrote CPU profile to", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "experiment: wrote heap profile to", *memprofile)
+		}()
 	}
 
 	pool := exec.NewPool(*workers)
@@ -89,7 +134,7 @@ func main() {
 		e := &suite.Experiments[i]
 		if errs[i] != nil {
 			fmt.Fprintln(os.Stderr, "experiment:", errs[i])
-			os.Exit(1)
+			return 1
 		}
 		res := results[i]
 		fmt.Printf("== %s (%s, %s)\n", e.Name, e.Topology, e.Pattern)
@@ -109,12 +154,13 @@ func main() {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiment:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiment:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("wrote", *out)
 	}
+	return 0
 }

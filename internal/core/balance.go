@@ -80,14 +80,30 @@ func analyzePairs(t *topo.Topology, opt LBOptions) [][2]int32 {
 // a candidate path policy: per-pair (local) and all-pairs (global)
 // link usage probabilities are computed assuming every candidate VLB
 // path of a pair is equally likely; paths causing usage significantly
-// above the mean are removed, longest first. The returned Explicit
-// policy wraps the input with the removal set.
-func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
+// above the mean are removed, longest first.
+//
+// When the policy compiles within the store budget, the analysis
+// runs on the compiled form — removal is a []bool indexed by PathID
+// and the result is a compacted Store ready for allocation-free
+// sampling. Otherwise (modeled-only giant topologies) it falls back
+// to the interpreted path: an Explicit wrapper with a hash-keyed
+// removal set. Both branches make identical removal decisions
+// because the store preserves per-pair enumeration order.
+func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (paths.Policy, BalanceReport) {
+	if !opt.Enabled {
+		return paths.NewExplicit(pol), BalanceReport{}
+	}
+	if st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget); ok {
+		return rebalanceStore(t, st, opt)
+	}
+	return rebalanceInterpreted(t, pol, opt)
+}
+
+// rebalanceInterpreted is the map-based fallback for policies too
+// large to compile.
+func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
 	out := paths.NewExplicit(pol)
 	rep := BalanceReport{}
-	if !opt.Enabled {
-		return out, rep
-	}
 	net := flow.NewNetwork(t)
 	pairs := analyzePairs(t, opt)
 	rep.PairsAnalyzed = len(pairs)
@@ -233,4 +249,187 @@ func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (*paths.Explic
 		}
 	}
 	return out, rep
+}
+
+// rebalanceStore is the compiled-form adjustment: the same two-level
+// algorithm, but path sets are contiguous PathID ranges, the removal
+// set is a []bool indexed by PathID, and the result is a compacted
+// Store. Decision order mirrors rebalanceInterpreted exactly.
+func rebalanceStore(t *topo.Topology, st *paths.Store, opt LBOptions) (*paths.Store, BalanceReport) {
+	rep := BalanceReport{}
+	net := flow.NewNetwork(t)
+	pairs := analyzePairs(t, opt)
+	rep.PairsAnalyzed = len(pairs)
+
+	removed := make([]bool, st.NumPaths())
+	globalUse := make([]float64, net.NumEdges)
+	var buf paths.Path
+
+	// markRemoved mirrors the interpreted branch's key-based removal:
+	// the VLB enumeration can hold duplicate concrete paths under one
+	// pair (see Store.EqualIDs), and removing a path removes every
+	// copy of it from the set.
+	markRemoved := func(first paths.PathID, count int, id paths.PathID) {
+		removed[id] = true
+		for j := 0; j < count; j++ {
+			jd := first + paths.PathID(j)
+			if jd != id && !removed[jd] && st.EqualIDs(id, jd) {
+				removed[jd] = true
+			}
+		}
+	}
+
+	// edgesAt returns a path's switch-to-switch edges via the scratch
+	// materialization buffer.
+	edgesAt := func(s int, id paths.PathID, dst []flow.Edge) []flow.Edge {
+		st.MaterializeInto(s, id, &buf)
+		dst = dst[:0]
+		for h, pt := range buf.Ports {
+			dst = append(dst, net.EdgeOf(int(buf.Sw[h]), int(pt)))
+		}
+		return dst
+	}
+
+	for _, pr := range pairs {
+		s, d := int(pr[0]), int(pr[1])
+		first, count := st.PairRange(s, d)
+		if count == 0 {
+			continue
+		}
+		rep.PathsConsidered += count
+		// Per-pair usage counts over switch-to-switch edges.
+		use := make(map[flow.Edge]float64, 4*count)
+		edgesOf := make([][]flow.Edge, count)
+		for i := 0; i < count; i++ {
+			edgesOf[i] = edgesAt(s, first+paths.PathID(i), nil)
+			for _, e := range edgesOf[i] {
+				use[e]++
+			}
+		}
+		w := 1 / float64(count)
+		mean := 0.0
+		for _, c := range use {
+			mean += c
+		}
+		mean /= float64(len(use))
+		// Local adjustment: remove longest paths crossing hot links.
+		budget := int(opt.MaxRemoveFrac * float64(count))
+		removedHere := 0
+		hot := func(e flow.Edge) bool { return use[e] > opt.Tol*mean && use[e] > 1 }
+		anyHot := false
+		for _, c := range use {
+			if c > opt.Tol*mean && c > 1 {
+				anyHot = true
+				break
+			}
+		}
+		if anyHot {
+			rep.LocalHotPairs++
+			order := make([]int, count)
+			for i := range order {
+				order[i] = i
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return st.Hops(first+paths.PathID(order[a])) > st.Hops(first+paths.PathID(order[b]))
+			})
+			for _, i := range order {
+				if removedHere >= budget {
+					break
+				}
+				crossesHot := false
+				for _, e := range edgesOf[i] {
+					if hot(e) {
+						crossesHot = true
+						break
+					}
+				}
+				if !crossesHot {
+					continue
+				}
+				markRemoved(first, count, first+paths.PathID(i))
+				removedHere++
+				rep.LocalRemoved++
+				for _, e := range edgesOf[i] {
+					use[e]--
+				}
+			}
+		}
+		// Accumulate surviving usage into the global picture.
+		for i := 0; i < count; i++ {
+			if removed[first+paths.PathID(i)] {
+				continue
+			}
+			for _, e := range edgesOf[i] {
+				globalUse[e] += w
+			}
+		}
+	}
+
+	// Global adjustment: links whose expected usage across all pairs
+	// is significantly above the mean shed their longest paths.
+	used := 0
+	gmean := 0.0
+	for _, u := range globalUse {
+		if u > 0 {
+			used++
+			gmean += u
+		}
+	}
+	if used == 0 {
+		return st.Without(removed), rep
+	}
+	gmean /= float64(used)
+	hotGlobal := make(map[flow.Edge]bool)
+	for e, u := range globalUse {
+		if u > opt.Tol*gmean {
+			hotGlobal[flow.Edge(e)] = true
+		}
+	}
+	rep.GlobalHotLinks = len(hotGlobal)
+	if len(hotGlobal) == 0 {
+		return st.Without(removed), rep
+	}
+	var scratch []flow.Edge
+	for _, pr := range pairs {
+		s, d := int(pr[0]), int(pr[1])
+		first, count := st.PairRange(s, d)
+		// Surviving PathIDs of the pair, in enumeration order.
+		var ids []paths.PathID
+		for i := 0; i < count; i++ {
+			if !removed[first+paths.PathID(i)] {
+				ids = append(ids, first+paths.PathID(i))
+			}
+		}
+		if len(ids) <= 1 {
+			continue
+		}
+		budget := int(opt.MaxRemoveFrac * float64(len(ids)))
+		order := make([]int, len(ids))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return st.Hops(ids[order[a]]) > st.Hops(ids[order[b]])
+		})
+		removedHere := 0
+		for _, i := range order {
+			if removedHere >= budget || len(ids)-removedHere <= 1 {
+				break
+			}
+			scratch = edgesAt(s, ids[i], scratch)
+			crosses := false
+			for _, e := range scratch {
+				if hotGlobal[e] {
+					crosses = true
+					break
+				}
+			}
+			if crosses {
+				markRemoved(first, count, ids[i])
+				removedHere++
+				rep.GlobalRemoved++
+			}
+		}
+	}
+	return st.Without(removed), rep
 }

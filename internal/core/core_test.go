@@ -134,9 +134,49 @@ func TestRebalanceReducesHotUsage(t *testing.T) {
 
 func TestRebalanceDisabled(t *testing.T) {
 	tp := topo.MustNew(2, 4, 2, 5)
-	adj, rep := Rebalance(tp, paths.Full{T: tp}, LBOptions{Enabled: false})
-	if rep.LocalRemoved != 0 || rep.GlobalRemoved != 0 || len(adj.Removed) != 0 {
+	pol := paths.Full{T: tp}
+	adj, rep := Rebalance(tp, pol, LBOptions{Enabled: false})
+	if rep.LocalRemoved != 0 || rep.GlobalRemoved != 0 {
 		t.Fatal("disabled rebalance removed paths")
+	}
+	// The adjusted set must be identical to the base set.
+	for _, pr := range [][2]int{{0, 1}, {0, 5}, {3, 9}} {
+		want := pol.Enumerate(pr[0], pr[1])
+		got := adj.Enumerate(pr[0], pr[1])
+		if len(got) != len(want) {
+			t.Fatalf("pair %v: %d paths, want %d", pr, len(got), len(want))
+		}
+	}
+}
+
+// TestRebalanceStoreMatchesInterpreted proves the PathID-based
+// adjustment makes the same removal decisions as the map-based
+// fallback: identical reports and identical surviving sets.
+func TestRebalanceStoreMatchesInterpreted(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	base := paths.Strategic{T: tp, FirstLeg: 2}
+	opt := DefaultLBOptions()
+	opt.PairCap = 300
+	st, srep := rebalanceStore(tp, base.Compile(tp), opt)
+	ex, irep := rebalanceInterpreted(tp, base, opt)
+	if srep != irep {
+		t.Fatalf("reports differ: store %+v, interpreted %+v", srep, irep)
+	}
+	n := tp.NumSwitches()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			want := ex.Enumerate(s, d)
+			got := st.Enumerate(s, d)
+			if len(got) != len(want) {
+				t.Fatalf("pair (%d,%d): store keeps %d paths, interpreted %d",
+					s, d, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("pair (%d,%d) path %d differs", s, d, i)
+				}
+			}
+		}
 	}
 }
 

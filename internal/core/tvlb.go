@@ -228,6 +228,16 @@ func vicinity(curve []ProbePoint, best DataPoint, opt Options) []DataPoint {
 func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
 	scores := make([]float64, opt.Sim.Patterns)
 	pool := exec.Default()
+	// Simulate on the compiled form when it fits the budget, so every
+	// per-packet draw is a PathID lookup. Rebalanced candidates arrive
+	// already compiled; this covers the conventional baseline.
+	if _, already := pol.(*paths.Store); !already {
+		if st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget); ok {
+			pool.Report(exec.Stat{Label: "compile/" + st.Name(),
+				Wall: st.BuildTime(), Bytes: st.Bytes()})
+			pol = st
+		}
+	}
 	pool.Run("tvlb/score", opt.Sim.Patterns, func(i int) int64 {
 		patSeed := rng.Hash64(opt.Seed, 0x5e2, uint64(i))
 		pf := func(seed uint64) traffic.Pattern {
@@ -294,7 +304,7 @@ func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
 	pool.Run("tvlb/candidates", len(cands), func(i int) int64 {
 		c := cands[i]
 		adj, rep := Rebalance(t, c.pol, opt.LB)
-		adj.Label = "T-VLB(" + c.name + ")"
+		adj = paths.SetLabel(adj, "T-VLB("+c.name+")")
 		score := simulateScore(t, adj, opt)
 		res.Candidates[i] = Candidate{
 			Name:          c.name,

@@ -46,6 +46,10 @@ type Stat struct {
 	// cycles for simulation tasks, 0 when not applicable. Divide by
 	// Wall for simulated cycles/sec.
 	Cycles int64
+	// Bytes is the task's self-reported resident footprint — the
+	// arena size of a compiled path store for compile tasks, 0 when
+	// not applicable.
+	Bytes int64
 	// Queued counts submitted tasks not yet executing, Running the
 	// tasks currently executing, Done the tasks completed over the
 	// pool's lifetime.
@@ -108,6 +112,22 @@ func (p *Pool) SetObserver(obs Observer) {
 // Snapshot returns the pool's current queued/running/done counters.
 func (p *Pool) Snapshot() (queued, running, done int64) {
 	return p.queued.Load(), p.running.Load(), p.done.Load()
+}
+
+// Report delivers a caller-built Stat to the pool observer without
+// touching the task counters (the snapshot fields are filled in).
+// Consumers use it for one-off work done outside Run — e.g. spec and
+// figures report each path-store compilation's build time and arena
+// bytes here, so -progress output accounts for setup cost too.
+func (p *Pool) Report(s Stat) {
+	p.mu.RLock()
+	obs := p.obs
+	p.mu.RUnlock()
+	if obs == nil {
+		return
+	}
+	s.Queued, s.Running, s.Done = p.Snapshot()
+	obs(s)
 }
 
 // Task is one unit of independent work. The return value is the
@@ -178,6 +198,9 @@ func Progress(w io.Writer) Observer {
 		rate := ""
 		if c := s.CyclesPerSec(); c > 0 {
 			rate = fmt.Sprintf(" %.0f kcyc/s", c/1e3)
+		}
+		if s.Bytes > 0 {
+			rate += fmt.Sprintf(" %.1f MiB", float64(s.Bytes)/(1<<20))
 		}
 		fmt.Fprintf(w, "[%d done, %d running, %d queued] %s#%d %v%s\n",
 			s.Done, s.Running, s.Queued, s.Label, s.Index,

@@ -170,7 +170,7 @@ func tvlbPolicy(t *topo.Topology, opt Options) paths.Policy {
 	lb := core.DefaultLBOptions()
 	lb.Seed = opt.Seed
 	adj, _ := core.Rebalance(t, base, lb)
-	adj.Label = "T-VLB(strategic 2+3)"
+	adj = paths.SetLabel(adj, "T-VLB(strategic 2+3)")
 	tvlbCache[key] = adj
 	return adj
 }
@@ -191,10 +191,52 @@ type scheme struct {
 	vcs int
 }
 
-// mkSchemes builds the requested conventional/T pairs.
+// storeCache holds compiled path stores shared across figures: the
+// same conventional set backs fig6-9 and fig18, and stores are
+// immutable, so one compile per (topology, policy) serves every
+// scheme and every worker. Keying by policy name is sound here
+// because the only cached policies are Full and Strategic, whose
+// names determine their sets given the topology.
+var (
+	storeCacheMu sync.Mutex
+	storeCache   = map[storeKey]paths.Policy{}
+)
+
+type storeKey struct {
+	params topo.Params
+	name   string
+}
+
+// compiled returns the store-backed form of pol when it fits the
+// compile budget (reporting build time and arena bytes to the pool
+// observer on a fresh compile), or pol itself when it does not —
+// the Figure 13/14 topology stays interpreted by design.
+func compiled(t *topo.Topology, pol paths.Policy) paths.Policy {
+	if _, already := pol.(*paths.Store); already {
+		return pol
+	}
+	key := storeKey{params: t.Params, name: pol.Name()}
+	storeCacheMu.Lock()
+	defer storeCacheMu.Unlock()
+	if st, ok := storeCache[key]; ok {
+		return st
+	}
+	st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget)
+	if !ok {
+		return pol
+	}
+	exec.Default().Report(exec.Stat{Label: "compile/" + st.Name(),
+		Wall: st.BuildTime(), Bytes: st.Bytes()})
+	storeCache[key] = st
+	return st
+}
+
+// mkSchemes builds the requested conventional/T pairs. Both policies
+// are compiled once (when within budget) and shared read-only by
+// every scheme and cloned run on the pool.
 func mkSchemes(t *topo.Topology, opt Options, which ...string) []scheme {
-	tp := tvlbPolicy(t, opt)
-	full := paths.Full{T: t}
+	tp := compiled(t, tvlbPolicy(t, opt))
+	full := compiled(t, paths.Full{T: t})
 	out := make([]scheme, 0, len(which))
 	for _, w := range which {
 		switch w {

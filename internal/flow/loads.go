@@ -79,7 +79,9 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 		VlbHops: make([]float64, len(demands)),
 	}
 	r := rng.New(opt.Seed)
+	st, _ := pol.(*paths.Store)
 	var scratch []Edge
+	var pbuf paths.Path
 	for i, d := range demands {
 		s, t := int(d.Src), int(d.Dst)
 
@@ -97,8 +99,22 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 
 		acc = make(map[Edge]float64, 64)
 		if opt.Enumerate {
-			vlbPaths := pol.Enumerate(s, t)
-			if len(vlbPaths) > 0 {
+			if st != nil {
+				// Compiled fast path: walk the pair's PathID range
+				// through one reusable buffer instead of allocating the
+				// per-pair path list on every model evaluation.
+				first, count := st.PairRange(s, t)
+				if count > 0 {
+					dl.VlbOK[i] = true
+					w = 1 / float64(count)
+					for k := 0; k < count; k++ {
+						st.MaterializeInto(s, first+paths.PathID(k), &pbuf)
+						scratch = net.PathEdges(scratch[:0], pbuf)
+						accumulate(acc, scratch, w)
+						dl.VlbHops[i] += w * float64(pbuf.Hops())
+					}
+				}
+			} else if vlbPaths := pol.Enumerate(s, t); len(vlbPaths) > 0 {
 				dl.VlbOK[i] = true
 				w = 1 / float64(len(vlbPaths))
 				for _, p := range vlbPaths {

@@ -227,7 +227,17 @@ func join(leg1, leg2 Path) (Path, bool) {
 // both endpoint groups. For a same-group pair it returns the 2-hop
 // in-group detours. Same-switch pairs have no VLB paths.
 func EnumerateVLB(t *topo.Topology, s, d int) []Path {
-	if s == d {
+	return EnumerateVLBMax(t, s, d, MaxVLBHops)
+}
+
+// EnumerateVLBMax is EnumerateVLB restricted to paths of at most
+// maxHops hops, skipping longer leg combinations before they are
+// built. Store compilation uses a policy's hop cap here so that
+// compiling a length-restricted policy never materializes the paths
+// its filter would reject anyway. Enumeration order is a stable
+// subsequence of the full EnumerateVLB order.
+func EnumerateVLBMax(t *topo.Topology, s, d, maxHops int) []Path {
+	if s == d || maxHops < 2 {
 		return nil
 	}
 	var out []Path
@@ -256,6 +266,9 @@ func EnumerateVLB(t *topo.Topology, s, d int) []Path {
 			legs2 := EnumerateMin(t, inter, d)
 			for _, l1 := range legs1 {
 				for _, l2 := range legs2 {
+					if len(l1.Ports)+len(l2.Ports) > maxHops {
+						continue
+					}
 					if p, ok := join(l1, l2); ok {
 						out = append(out, p)
 					}

@@ -28,6 +28,12 @@ type Policy interface {
 	// Contains reports whether p (a valid VLB path of the pair) is in
 	// the policy's set.
 	Contains(s, d int, p Path) bool
+	// Compile materializes the policy into an immutable Store: the
+	// same path set per pair (in Enumerate order), with O(1)
+	// allocation-free sampling. Compilation enumerates every pair —
+	// gate it with TryCompile on topologies whose path count may
+	// exceed memory.
+	Compile(t *topo.Topology) *Store
 }
 
 // sampleAttempts bounds rejection sampling in restricted policies.
@@ -61,6 +67,9 @@ func (f Full) Enumerate(s, d int) []Path { return EnumerateVLB(f.T, s, d) }
 
 // Contains implements Policy.
 func (f Full) Contains(_, _ int, _ Path) bool { return true }
+
+// Compile implements Policy.
+func (f Full) Compile(t *topo.Topology) *Store { return compileStore(t, f, MaxVLBHops) }
 
 // LengthCapped is the Table 1 family of data points: all VLB paths of
 // at most MaxHops hops, plus a pseudo-random fraction Frac of the
@@ -143,6 +152,10 @@ func (l LengthCapped) Enumerate(s, d int) []Path {
 
 // Contains implements Policy.
 func (l LengthCapped) Contains(_, _ int, p Path) bool { return l.allows(p) }
+
+// Compile implements Policy. Enumeration is pruned to MaxHops(+1)
+// hops, so compiling a tight cap is much cheaper than the full set.
+func (l LengthCapped) Compile(t *topo.Topology) *Store { return compileStore(t, l, hopCap(l)) }
 
 // Strategic is the Step-2 deterministic expansion for the 50% 5-hop
 // vicinity: all VLB paths of at most 4 hops, plus exactly the 5-hop
@@ -265,6 +278,9 @@ func (s Strategic) Enumerate(src, dst int) []Path {
 // Contains implements Policy.
 func (s Strategic) Contains(src, dst int, p Path) bool { return s.allows(src, dst, p) }
 
+// Compile implements Policy (strategic sets never exceed 5 hops).
+func (s Strategic) Compile(t *topo.Topology) *Store { return compileStore(t, s, hopCap(s)) }
+
 // Explicit wraps any base policy with a removal set, the output of
 // Algorithm 1's load-balance adjustment ("removing paths that cause
 // high link usage probability"). Removed paths are identified by
@@ -337,3 +353,6 @@ func (e *Explicit) Enumerate(s, d int) []Path {
 func (e *Explicit) Contains(s, d int, p Path) bool {
 	return e.Base.Contains(s, d, p) && !e.Removed[p.Key()]
 }
+
+// Compile implements Policy, inheriting the base policy's hop cap.
+func (e *Explicit) Compile(t *topo.Topology) *Store { return compileStore(t, e, hopCap(e)) }

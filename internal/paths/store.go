@@ -1,0 +1,377 @@
+package paths
+
+import (
+	"fmt"
+	"time"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// PathID indexes one compiled path inside a Store. IDs of a
+// (src, dst) pair are contiguous, so uniform sampling over a pair's
+// candidate set is a single bounded RNG draw.
+type PathID int32
+
+// DefaultCompileBudget caps, in total paths, how large a policy the
+// analysis layers will compile into a Store before falling back to
+// the interpreted form. ~9.4M paths is ~65 MiB of arena — it covers
+// every simulated topology of the paper (dfly(4,8,4,9) full VLB is
+// ~4.1M paths, dfly(4,8,4,17) ~8.4M; restricted T-VLB sets are far
+// smaller) while refusing the modeled-only dfly(4,8,4,33) (~17M)
+// and the giant dfly(13,26,13,27), whose full set is tens of
+// billions of paths.
+var DefaultCompileBudget int64 = 9 << 20
+
+// Store is the compiled, immutable form of a Policy on one topology:
+// a flat arena of per-hop out-ports (stride MaxVLBHops, no per-path
+// slices) plus a per-ordered-pair index of contiguous PathID ranges.
+// Switch sequences are not stored — they are re-derived from the
+// source switch and the port sequence when a path is materialized,
+// which keeps the arena at MaxVLBHops+1 bytes per path.
+//
+// A Store is strictly read-only after Compile returns. That is the
+// sharing contract with internal/exec: one Store is built per
+// scheme and handed to every cloned routing function on the worker
+// pool with no synchronization, and routing.CloneRouting copies only
+// the pointer.
+type Store struct {
+	T *topo.Topology
+	// Label overrides the derived name in experiment output.
+	Label string
+
+	name      string // the compiled policy's Name()
+	full      bool   // compiled from the conventional all-VLB policy
+	n         int    // switches; the pair index is s*n+d
+	pairStart []int32
+	hops      []uint8
+	ports     []int8 // flat arena, MaxVLBHops entries per path
+	buildTime time.Duration
+}
+
+// compileStore enumerates pol pair by pair (bounded by the policy's
+// hop cap) and packs every member path into the arena. Per-pair path
+// order is exactly the policy's Enumerate order, so analyses that
+// walk paths in order behave identically on the compiled form.
+func compileStore(t *topo.Topology, pol Policy, maxHops int) *Store {
+	start := time.Now()
+	n := t.NumSwitches()
+	_, isFull := pol.(Full)
+	st := &Store{T: t, name: pol.Name(), full: isFull, n: n}
+	st.pairStart = make([]int32, n*n+1)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			st.pairStart[s*n+d] = int32(len(st.hops))
+			if s == d {
+				continue
+			}
+			for _, p := range EnumerateVLBMax(t, s, d, maxHops) {
+				if !pol.Contains(s, d, p) {
+					continue
+				}
+				st.hops = append(st.hops, uint8(p.Hops()))
+				base := len(st.ports)
+				st.ports = append(st.ports, make([]int8, MaxVLBHops)...)
+				copy(st.ports[base:], p.Ports)
+			}
+		}
+	}
+	st.pairStart[n*n] = int32(len(st.hops))
+	st.buildTime = time.Since(start)
+	return st
+}
+
+// hopCap returns an upper bound on the hop count of any path the
+// policy admits, used to prune compilation-time enumeration.
+func hopCap(pol Policy) int {
+	switch p := pol.(type) {
+	case LengthCapped:
+		c := p.MaxHops
+		if p.Frac > 0 {
+			c++
+		}
+		if c > MaxVLBHops {
+			c = MaxVLBHops
+		}
+		return c
+	case Strategic:
+		return 5
+	case *Explicit:
+		return hopCap(p.Base)
+	}
+	return MaxVLBHops
+}
+
+// EstimatePaths predicts the total path count of a compiled store
+// without compiling it, by exact intra-group arithmetic plus a few
+// sampled inter-group pair enumerations scaled to the pair count.
+// The estimate is a mild overestimate (it scales by the largest
+// sampled pair), which is the safe direction for a budget check.
+func EstimatePaths(t *topo.Topology, pol Policy) int64 {
+	if st, ok := pol.(*Store); ok {
+		return int64(st.NumPaths())
+	}
+	n := int64(t.NumSwitches())
+	a, g := int64(t.A), int64(t.G)
+	intraPerPair := a - 2
+	if intraPerPair < 0 {
+		intraPerPair = 0
+	}
+	total := g * a * (a - 1) * intraPerPair
+	interPairs := n*(n-1) - g*a*(a-1)
+	if interPairs <= 0 {
+		return total
+	}
+	hc := hopCap(pol)
+	perPair := int64(0)
+	samples := 0
+	for _, gi := range []int{1, t.G / 2, t.G - 1} {
+		if gi <= 0 || samples >= 3 {
+			continue
+		}
+		s, d := t.SwitchID(0, 0), t.SwitchID(gi, t.A/2)
+		if t.SameGroup(s, d) {
+			continue
+		}
+		cnt := int64(0)
+		for _, p := range EnumerateVLBMax(t, s, d, hc) {
+			if pol.Contains(s, d, p) {
+				cnt++
+			}
+		}
+		if cnt > perPair {
+			perPair = cnt
+		}
+		samples++
+	}
+	return total + interPairs*perPair
+}
+
+// TryCompile compiles pol into a Store when its estimated size fits
+// the budget (<=0 means unlimited); ok=false leaves the interpreted
+// policy in charge. A policy that already is a Store passes through.
+func TryCompile(t *topo.Topology, pol Policy, budget int64) (*Store, bool) {
+	if st, ok := pol.(*Store); ok {
+		return st, true
+	}
+	if budget > 0 && EstimatePaths(t, pol) > budget {
+		return nil, false
+	}
+	return pol.Compile(t), true
+}
+
+// Name implements Policy.
+func (st *Store) Name() string {
+	if st.Label != "" {
+		return st.Label
+	}
+	return st.name
+}
+
+// Compile implements Policy: a Store is already compiled.
+func (st *Store) Compile(*topo.Topology) *Store { return st }
+
+// NumPaths returns the total number of compiled paths.
+func (st *Store) NumPaths() int { return len(st.hops) }
+
+// PairRange returns the pair's first PathID and path count.
+func (st *Store) PairRange(s, d int) (PathID, int) {
+	pi := s*st.n + d
+	first := st.pairStart[pi]
+	return PathID(first), int(st.pairStart[pi+1] - first)
+}
+
+// Hops returns a compiled path's hop count.
+func (st *Store) Hops(id PathID) int { return int(st.hops[id]) }
+
+// SampleID draws a uniform PathID from the pair's range: the O(1),
+// allocation-free replacement for rejection sampling. ok=false when
+// the pair has no candidate (then UGAL degenerates to MIN).
+func (st *Store) SampleID(r *rng.Source, s, d int) (PathID, bool) {
+	first, count := st.PairRange(s, d)
+	if count == 0 {
+		return 0, false
+	}
+	return first + PathID(r.Intn(count)), true
+}
+
+// MaterializeInto reconstructs a compiled path into dst's backing
+// storage by walking the port sequence from the source switch.
+// src must be the path's source (PathIDs do not store it).
+func (st *Store) MaterializeInto(src int, id PathID, dst *Path) {
+	dst.Sw = append(dst.Sw[:0], int32(src))
+	dst.Ports = dst.Ports[:0]
+	h := int(st.hops[id])
+	base := int(id) * MaxVLBHops
+	cur := src
+	for i := 0; i < h; i++ {
+		pt := st.ports[base+i]
+		cur = st.T.PeerOfPort(cur, int(pt))
+		dst.Sw = append(dst.Sw, int32(cur))
+		dst.Ports = append(dst.Ports, pt)
+	}
+}
+
+// SampleVLBInto implements Policy: one RNG draw, then materialize.
+func (st *Store) SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool {
+	id, ok := st.SampleID(r, s, d)
+	if !ok {
+		return false
+	}
+	st.MaterializeInto(s, id, dst)
+	return true
+}
+
+// SampleVLB implements Policy.
+func (st *Store) SampleVLB(r *rng.Source, s, d int) (Path, bool) {
+	var p Path
+	ok := st.SampleVLBInto(r, s, d, &p)
+	return p, ok
+}
+
+// Enumerate implements Policy, materializing the pair's range in
+// compiled (= the source policy's Enumerate) order.
+func (st *Store) Enumerate(s, d int) []Path {
+	first, count := st.PairRange(s, d)
+	if count == 0 {
+		return nil
+	}
+	out := make([]Path, count)
+	for i := range out {
+		st.MaterializeInto(s, first+PathID(i), &out[i])
+	}
+	return out
+}
+
+// Contains implements Policy by scanning the pair's range; the port
+// sequence (with the shared source switch) identifies a path fully.
+func (st *Store) Contains(s, d int, p Path) bool {
+	first, count := st.PairRange(s, d)
+	h := p.Hops()
+outer:
+	for i := 0; i < count; i++ {
+		id := int(first) + i
+		if int(st.hops[id]) != h {
+			continue
+		}
+		base := id * MaxVLBHops
+		for j := 0; j < h; j++ {
+			if st.ports[base+j] != p.Ports[j] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// EqualIDs reports whether two compiled paths of the same source
+// switch have identical port sequences. The full VLB enumeration can
+// emit the same concrete path under two intermediate switches (both
+// split points of its middle local hop), so one concrete path may
+// hold several PathIDs; removal semantics treat those as one path.
+func (st *Store) EqualIDs(a, b PathID) bool {
+	if st.hops[a] != st.hops[b] {
+		return false
+	}
+	ba, bb := int(a)*MaxVLBHops, int(b)*MaxVLBHops
+	for i := 0; i < int(st.hops[a]); i++ {
+		if st.ports[ba+i] != st.ports[bb+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Without returns a compacted copy excluding the paths whose PathID
+// is marked in removed (indexed by PathID, len NumPaths). Pair order
+// is preserved. This is how the Step-2 balance adjustment expresses
+// its removal set on a compiled store.
+func (st *Store) Without(removed []bool) *Store {
+	start := time.Now()
+	nRemoved := 0
+	for _, r := range removed {
+		if r {
+			nRemoved++
+		}
+	}
+	out := &Store{
+		T:    st.T,
+		name: fmt.Sprintf("%s-minus-%d", st.name, nRemoved),
+		n:    st.n,
+	}
+	out.pairStart = make([]int32, len(st.pairStart))
+	out.hops = make([]uint8, 0, len(st.hops)-nRemoved)
+	out.ports = make([]int8, 0, (len(st.hops)-nRemoved)*MaxVLBHops)
+	for pi := 0; pi < st.n*st.n; pi++ {
+		out.pairStart[pi] = int32(len(out.hops))
+		for id := st.pairStart[pi]; id < st.pairStart[pi+1]; id++ {
+			if removed[id] {
+				continue
+			}
+			out.hops = append(out.hops, st.hops[id])
+			out.ports = append(out.ports, st.ports[int(id)*MaxVLBHops:int(id+1)*MaxVLBHops]...)
+		}
+	}
+	out.pairStart[st.n*st.n] = int32(len(out.hops))
+	out.buildTime = time.Since(start)
+	return out
+}
+
+// Bytes reports the resident size of the compiled arenas.
+func (st *Store) Bytes() int64 {
+	return int64(len(st.ports)) + int64(len(st.hops)) + 4*int64(len(st.pairStart))
+}
+
+// BuildTime reports how long compilation took.
+func (st *Store) BuildTime() time.Duration { return st.buildTime }
+
+// StoreStats summarizes a compiled store for reporting.
+type StoreStats struct {
+	Pairs     int // ordered pairs with at least one candidate path
+	Paths     int
+	HopHist   [MaxVLBHops + 1]int
+	Bytes     int64
+	BuildTime time.Duration
+}
+
+// Stats computes the store's summary statistics.
+func (st *Store) Stats() StoreStats {
+	s := StoreStats{Paths: st.NumPaths(), Bytes: st.Bytes(), BuildTime: st.buildTime}
+	for pi := 0; pi < st.n*st.n; pi++ {
+		if st.pairStart[pi+1] > st.pairStart[pi] {
+			s.Pairs++
+		}
+	}
+	for _, h := range st.hops {
+		s.HopHist[h]++
+	}
+	return s
+}
+
+// IsConventional reports whether pol is the unrestricted
+// conventional-UGAL candidate set — paths.Full or a Store compiled
+// from it. Routing uses this to decide the "T-" name prefix, so a
+// compiled conventional policy is still reported as plain UGAL.
+func IsConventional(pol Policy) bool {
+	switch p := pol.(type) {
+	case Full:
+		return true
+	case *Store:
+		return p.full
+	}
+	return false
+}
+
+// SetLabel overrides the reported name on policies that carry labels
+// (Explicit and Store) and returns pol for chaining; other policies
+// pass through unchanged.
+func SetLabel(pol Policy, label string) Policy {
+	switch p := pol.(type) {
+	case *Explicit:
+		p.Label = label
+	case *Store:
+		p.Label = label
+	}
+	return pol
+}

@@ -1,0 +1,216 @@
+package paths
+
+import (
+	"fmt"
+	"testing"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// storePolicies builds the interpreted policies the equivalence
+// suite compiles: the conventional set, the Table-1 length-capped
+// family (with and without a hashed 5-hop fraction), both strategic
+// expansions, and a removal-adjusted set.
+func storePolicies(t *topo.Topology) []Policy {
+	capped := LengthCapped{T: t, MaxHops: 4, Frac: 0.5, Seed: 7}
+	adj := NewExplicit(capped)
+	// Remove a few real paths so the Explicit case is non-trivial.
+	n := t.NumSwitches()
+	for s := 0; s < n && len(adj.Removed) < 5; s++ {
+		for d := 0; d < n && len(adj.Removed) < 5; d++ {
+			if ps := capped.Enumerate(s, d); len(ps) > 1 {
+				adj.Remove(ps[len(ps)/2])
+			}
+		}
+	}
+	return []Policy{
+		Full{T: t},
+		LengthCapped{T: t, MaxHops: 3},
+		capped,
+		Strategic{T: t, FirstLeg: 2},
+		Strategic{T: t, FirstLeg: 3},
+		adj,
+	}
+}
+
+// TestStoreMatchesInterpreted proves each compiled store reproduces
+// its interpreted policy exactly: identical Enumerate sequence per
+// pair, Contains agreement on every full-VLB path, and every sample
+// drawn from the store is a member of the enumerated set.
+func TestStoreMatchesInterpreted(t *testing.T) {
+	for _, pr := range []topo.Params{
+		{P: 2, A: 4, H: 2, G: 9},
+		{P: 2, A: 4, H: 4, G: 3}, // parallel global links (h > g-1)
+		{P: 1, A: 2, H: 1, G: 3}, // no intra-group VLB (a < 3)
+	} {
+		tp := topo.MustNew(pr.P, pr.A, pr.H, pr.G)
+		for _, pol := range storePolicies(tp) {
+			pol := pol
+			t.Run(fmt.Sprintf("dfly(%d,%d,%d,%d)/%s", pr.P, pr.A, pr.H, pr.G, pol.Name()), func(t *testing.T) {
+				st := pol.Compile(tp)
+				if st.Name() != pol.Name() {
+					t.Errorf("store name %q != policy name %q", st.Name(), pol.Name())
+				}
+				r := rng.New(11)
+				n := tp.NumSwitches()
+				for s := 0; s < n; s++ {
+					for d := 0; d < n; d++ {
+						want := pol.Enumerate(s, d)
+						got := st.Enumerate(s, d)
+						if len(got) != len(want) {
+							t.Fatalf("pair (%d,%d): store enumerates %d paths, policy %d",
+								s, d, len(got), len(want))
+						}
+						for i := range want {
+							if !got[i].Equal(want[i]) {
+								t.Fatalf("pair (%d,%d) path %d: store %v != policy %v",
+									s, d, i, got[i], want[i])
+							}
+							if err := ValidateVLB(tp, got[i]); err != nil {
+								t.Fatalf("pair (%d,%d) path %d: %v", s, d, i, err)
+							}
+						}
+						// Contains must agree on members and non-members
+						// alike; the full VLB set supplies both kinds.
+						for _, p := range EnumerateVLB(tp, s, d) {
+							if st.Contains(s, d, p) != pol.Contains(s, d, p) {
+								t.Fatalf("pair (%d,%d): Contains disagrees on %v", s, d, p)
+							}
+						}
+						// Store draws must land inside the enumerated set
+						// (the interpreted rejection sampler's fallback
+						// could escape it; the compiled form cannot).
+						var buf Path
+						for k := 0; k < 20; k++ {
+							ok := st.SampleVLBInto(r, s, d, &buf)
+							if ok != (len(want) > 0) {
+								t.Fatalf("pair (%d,%d): sample ok=%v with %d candidates",
+									s, d, ok, len(want))
+							}
+							if ok && !pol.Contains(s, d, buf) {
+								t.Fatalf("pair (%d,%d): sampled %v outside the policy set",
+									s, d, buf)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStoreSamplingIsUniform checks the single-draw sampler hits
+// every candidate of a pair with near-uniform frequency.
+func TestStoreSamplingIsUniform(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	st := Strategic{T: tp, FirstLeg: 2}.Compile(tp)
+	s, d := 0, tp.SwitchID(4, 1)
+	first, count := st.PairRange(s, d)
+	if count < 2 {
+		t.Fatalf("pair has %d candidates; want >= 2", count)
+	}
+	r := rng.New(3)
+	draws := 200 * count
+	counts := make([]int, count)
+	for i := 0; i < draws; i++ {
+		id, ok := st.SampleID(r, s, d)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		counts[id-first]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("candidate %d never drawn in %d draws", i, draws)
+		}
+		if c > 3*draws/count {
+			t.Errorf("candidate %d drawn %d times; expected about %d", i, c, draws/count)
+		}
+	}
+}
+
+// TestStoreWithout checks PathID-indexed removal: the compacted
+// store drops exactly the marked paths and keeps pair order.
+func TestStoreWithout(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	st := LengthCapped{T: tp, MaxHops: 4}.Compile(tp)
+	removed := make([]bool, st.NumPaths())
+	// Mark every third path of a few pairs.
+	marked := 0
+	n := tp.NumSwitches()
+	for s := 0; s < 4; s++ {
+		for d := 0; d < n; d++ {
+			first, count := st.PairRange(s, d)
+			for i := 0; i < count; i += 3 {
+				removed[int(first)+i] = true
+				marked++
+			}
+		}
+	}
+	out := st.Without(removed)
+	if got := st.NumPaths() - out.NumPaths(); got != marked {
+		t.Fatalf("Without dropped %d paths; marked %d", got, marked)
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			first, count := st.PairRange(s, d)
+			var want []Path
+			for i := 0; i < count; i++ {
+				if !removed[int(first)+i] {
+					var p Path
+					st.MaterializeInto(s, first+PathID(i), &p)
+					want = append(want, p)
+				}
+			}
+			got := out.Enumerate(s, d)
+			if len(got) != len(want) {
+				t.Fatalf("pair (%d,%d): %d paths after Without, want %d", s, d, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("pair (%d,%d) path %d: got %v want %v", s, d, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStoreSampleIsAllocationFree guards the acceptance criterion at
+// the unit level: once the destination buffer has capacity, a store
+// draw performs no allocation.
+func TestStoreSampleIsAllocationFree(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	st := Strategic{T: tp, FirstLeg: 2}.Compile(tp)
+	r := rng.New(5)
+	buf := Path{Sw: make([]int32, 0, MaxVLBHops+1), Ports: make([]int8, 0, MaxVLBHops)}
+	d := tp.SwitchID(5, 2)
+	allocs := testing.AllocsPerRun(200, func() {
+		st.SampleVLBInto(r, 0, d, &buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("store sample allocates %.1f objects per draw; want 0", allocs)
+	}
+}
+
+// TestTryCompileBudget checks the budget gate: a generous budget
+// compiles, a tiny one refuses, and estimates bound reality.
+func TestTryCompileBudget(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	pol := Full{T: tp}
+	est := EstimatePaths(tp, pol)
+	st, ok := TryCompile(tp, pol, est+1)
+	if !ok {
+		t.Fatalf("TryCompile refused with budget %d >= estimate %d", est+1, est)
+	}
+	if int64(st.NumPaths()) > est {
+		t.Errorf("estimate %d below actual %d paths (must overestimate)", est, st.NumPaths())
+	}
+	if _, ok := TryCompile(tp, pol, 1); ok {
+		t.Error("TryCompile accepted a 1-path budget")
+	}
+	// A store passes through regardless of budget.
+	if st2, ok := TryCompile(tp, st, 1); !ok || st2 != st {
+		t.Error("TryCompile did not pass an existing store through")
+	}
+}

@@ -83,6 +83,33 @@ type UGAL struct {
 	// Reusable candidate-path buffers (hot path: one MIN and one VLB
 	// candidate per packet).
 	minBuf, vlbBuf paths.Path
+
+	// store caches the compiled form of Policy when it is one, bound
+	// lazily on the first sample; the bound pointer is shared by every
+	// clone (stores are immutable, see paths.Store).
+	store *paths.Store
+	bound bool
+}
+
+// sampleVLB draws one candidate VLB path into vlbBuf. With a
+// compiled policy this is a single PathID draw materialized straight
+// into the reusable buffer — O(1) and allocation-free regardless of
+// how restrictive the policy is; otherwise it falls back to the
+// interpreted sampler.
+func (u *UGAL) sampleVLB(r *rng.Source, s, d int) bool {
+	if !u.bound {
+		u.store, _ = u.Policy.(*paths.Store)
+		u.bound = true
+	}
+	if u.store != nil {
+		id, ok := u.store.SampleID(r, s, d)
+		if !ok {
+			return false
+		}
+		u.store.MaterializeInto(s, id, &u.vlbBuf)
+		return true
+	}
+	return u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf)
 }
 
 // Constructors for the paper's six schemes. The conventional variant
@@ -148,7 +175,7 @@ func (u *UGAL) Name() string {
 	case Piggyback:
 		base = "UGAL-PB"
 	}
-	if _, isFull := u.Policy.(paths.Full); !isFull {
+	if !paths.IsConventional(u.Policy) {
 		base = "T-" + base
 	}
 	return base
@@ -252,11 +279,11 @@ func (u *UGAL) SourceRoute(n *netsim.Network, r *rng.Source, f *Flit) {
 	switch u.Mode {
 	case MinOnly:
 	case VLBOnly:
-		if u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf) {
+		if u.sampleVLB(r, s, d) {
 			useMin = false
 		}
 	default:
-		if u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf) {
+		if u.sampleVLB(r, s, d) {
 			var qMin, qVlb int
 			switch u.Mode {
 			case Global:
@@ -310,7 +337,7 @@ func (u *UGAL) Revise(n *netsim.Network, r *rng.Source, f *Flit, sw int32) {
 		return
 	}
 	qMin := n.CreditOcc(sw, int(f.Route[f.HopIdx].Port)) * remHops
-	if !u.Policy.SampleVLBInto(r, int(sw), d, &u.vlbBuf) || u.vlbBuf.Hops() == 0 {
+	if !u.sampleVLB(r, int(sw), d) || u.vlbBuf.Hops() == 0 {
 		return
 	}
 	vlbPath := u.vlbBuf

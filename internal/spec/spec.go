@@ -199,20 +199,26 @@ func placedPattern(t *topo.Topology, base, strat string, seed uint64) (traffic.P
 // with the VC budget it requires. T- schemes use pol as their T-VLB
 // set; conventional schemes ignore pol.
 func Routing(t *topo.Topology, name string, pol paths.Policy) (netsim.RoutingFunc, int, error) {
-	full := paths.Full{T: t}
+	return routingWith(t, name, pol, paths.Full{T: t})
+}
+
+// routingWith is Routing with an explicit conventional policy, so a
+// suite can hand every conventional scheme one shared compiled store
+// instead of a fresh interpreted Full per entry.
+func routingWith(t *topo.Topology, name string, pol, conv paths.Policy) (netsim.RoutingFunc, int, error) {
 	switch strings.ToLower(name) {
 	case "min":
 		return routing.NewMin(t), 4, nil
 	case "vlb":
-		return routing.NewVLB(t, full), 4, nil
+		return routing.NewVLB(t, conv), 4, nil
 	case "ugal-l":
-		return routing.NewUGALL(t, full), 4, nil
+		return routing.NewUGALL(t, conv), 4, nil
 	case "ugal-g":
-		return routing.NewUGALG(t, full), 4, nil
+		return routing.NewUGALG(t, conv), 4, nil
 	case "ugal-pb":
-		return routing.NewPiggyback(t, full), 4, nil
+		return routing.NewPiggyback(t, conv), 4, nil
 	case "par":
-		return routing.NewPAR(t, full), 5, nil
+		return routing.NewPAR(t, conv), 5, nil
 	case "t-ugal-l":
 		r := routing.NewUGALL(t, pol)
 		r.Label = "T-UGAL-L"

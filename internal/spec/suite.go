@@ -4,13 +4,31 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"tugal/internal/exec"
 	"tugal/internal/netsim"
+	"tugal/internal/paths"
 	"tugal/internal/rng"
 	"tugal/internal/sweep"
+	"tugal/internal/topo"
 	"tugal/internal/traffic"
 )
+
+// compileFor compiles a policy for an experiment's simulations when
+// it fits the store budget, reporting build time and arena size to
+// the pool observer; otherwise the interpreted policy is returned.
+func compileFor(pool *exec.Pool, t *topo.Topology, pol paths.Policy) paths.Policy {
+	st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget)
+	if !ok {
+		return pol
+	}
+	if paths.Policy(st) != pol {
+		pool.Report(exec.Stat{Label: "compile/" + st.Name(),
+			Wall: st.BuildTime(), Bytes: st.Bytes()})
+	}
+	return st
+}
 
 // Suite is a JSON-defined batch of experiments for cmd/experiment.
 //
@@ -165,10 +183,22 @@ func (e *Experiment) RunOn(pool *exec.Pool) (*ExperimentResult, error) {
 		}
 		return p
 	}
+	// Compile each distinct policy once per experiment; every routing
+	// entry (and every cloned run on the pool) shares the immutable
+	// store. Over-budget topologies keep the interpreted policies.
+	pol = compileFor(pool, t, pol)
+	var conv paths.Policy = paths.Full{T: t}
+	for _, rname := range e.Routing {
+		l := strings.ToLower(rname)
+		if l != "min" && !strings.HasPrefix(l, "t-") {
+			conv = compileFor(pool, t, conv)
+			break
+		}
+	}
 	rfs := make([]netsim.RoutingFunc, len(e.Routing))
 	cfgs := make([]netsim.Config, len(e.Routing))
 	for i, rname := range e.Routing {
-		rf, vcs, err := Routing(t, rname, pol)
+		rf, vcs, err := routingWith(t, rname, pol, conv)
 		if err != nil {
 			return nil, err
 		}

@@ -21,7 +21,18 @@ import (
 func detSchemes(t *topo.Topology) map[string]func() netsim.RoutingFunc {
 	full := paths.Full{T: t}
 	strat := paths.Strategic{T: t, FirstLeg: 2}
+	// Store-backed variants: one immutable compiled store shared by
+	// every cloned run on both pools, exercising the PathID sampling
+	// path under the same determinism contract.
+	fullSt := full.Compile(t)
+	stratSt := strat.Compile(t)
 	return map[string]func() netsim.RoutingFunc{
+		"UGAL-L/store": func() netsim.RoutingFunc { return routing.NewUGALL(t, fullSt) },
+		"T-UGAL-L/store": func() netsim.RoutingFunc {
+			r := routing.NewUGALL(t, stratSt)
+			r.Label = "T-UGAL-L"
+			return r
+		},
 		"MIN":     func() netsim.RoutingFunc { return routing.NewMin(t) },
 		"VLB":     func() netsim.RoutingFunc { return routing.NewVLB(t, full) },
 		"UGAL-L":  func() netsim.RoutingFunc { return routing.NewUGALL(t, full) },

@@ -34,6 +34,7 @@ import (
 	"tugal/internal/flow"
 	"tugal/internal/netsim"
 	"tugal/internal/paths"
+	"tugal/internal/rng"
 	"tugal/internal/routing"
 	"tugal/internal/sweep"
 	"tugal/internal/topo"
@@ -91,6 +92,27 @@ func LengthCappedVLB(t *Topology, maxHops int, frac float64, seed uint64) PathPo
 func StrategicVLB(t *Topology, firstLeg int) PathPolicy {
 	return paths.Strategic{T: t, FirstLeg: firstLeg}
 }
+
+// PathStore is a policy compiled into an immutable flat arena with
+// per-pair PathID ranges: sampling is one RNG draw and materializes
+// into a caller buffer without allocating, so one store is shared
+// read-only by every run on the worker pool. A PathStore is itself a
+// PathPolicy.
+type PathStore = paths.Store
+
+// CompileVLB compiles a policy into a PathStore when its path count
+// fits the default memory budget; ok is false for topologies whose
+// candidate sets are too large to hold in memory (the interpreted
+// policy should then be used directly).
+func CompileVLB(t *Topology, pol PathPolicy) (*PathStore, bool) {
+	return paths.TryCompile(t, pol, paths.DefaultCompileBudget)
+}
+
+// RNG is the deterministic random source threaded through sampling.
+type RNG = rng.Source
+
+// NewRNG returns a seeded RNG.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
 
 // Routing functions. Pass FullVLB for the conventional variants,
 // or a T-VLB policy (e.g. ComputeTVLB(...).Final) for T-UGAL-L,
