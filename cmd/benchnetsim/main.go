@@ -1,0 +1,179 @@
+// Command benchnetsim measures the cycle loop's throughput
+// (simulated cycles per wall-clock second) at 1, 2, 4 and 8 shards
+// and writes the matrix to a JSON file (BENCH_netsim.json in CI).
+// The 1-shard row is the sequential stepper — the baseline every
+// speedup factor is computed against. Because the shard engine is
+// bit-deterministic, the tool also cross-checks that every sharded
+// run reproduces the sequential RunResult exactly and fails loudly
+// if it does not.
+//
+// Speedup requires cores: each sharded run forces ShardWorkers to
+// the shard count, so on a GOMAXPROCS=1 host the sharded rows only
+// measure engine overhead. The JSON records gomaxprocs so readers
+// can tell the two situations apart.
+//
+// Usage:
+//
+//	benchnetsim                 # full matrix: g=17 and 702-switch
+//	benchnetsim -quick          # CI tier: g=9 only, short windows
+//	benchnetsim -o BENCH_netsim.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/routing"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// benchCase is one (topology, load) cell of the matrix. The cycle
+// counts are sized so the sequential row takes seconds, not minutes,
+// at each scale.
+type benchCase struct {
+	name   string
+	t      *topo.Topology
+	cycles int64
+	rate   float64
+}
+
+// shardRun is one row of the output matrix.
+type shardRun struct {
+	Shards       int     `json:"shards"`
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wallSeconds"`
+	CyclesPerSec float64 `json:"cyclesPerSec"`
+	// Speedup is CyclesPerSec relative to the 1-shard row of the
+	// same case.
+	Speedup float64 `json:"speedup"`
+}
+
+// caseResult groups the rows of one benchmark case.
+type caseResult struct {
+	Name     string     `json:"name"`
+	Topology string     `json:"topology"`
+	Switches int        `json:"switches"`
+	Pattern  string     `json:"pattern"`
+	Rate     float64    `json:"rate"`
+	Cycles   int64      `json:"cycles"`
+	Runs     []shardRun `json:"runs"`
+}
+
+// report is the whole BENCH_netsim.json document.
+type report struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numCPU"`
+	GoVersion  string       `json:"goVersion"`
+	Quick      bool         `json:"quick"`
+	Cases      []caseResult `json:"cases"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchnetsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runCase measures one topology/load cell across the shard counts,
+// verifying every sharded result against the sequential one.
+func runCase(c benchCase, shardCounts []int) caseResult {
+	res := caseResult{
+		Name:     c.name,
+		Topology: c.t.Params.String(),
+		Switches: c.t.NumSwitches(),
+		Pattern:  "shift:2:0",
+		Rate:     c.rate,
+		Cycles:   c.cycles,
+	}
+	var baseline netsim.RunResult
+	var baseRate float64
+	for _, shards := range shardCounts {
+		cfg := netsim.DefaultConfig()
+		cfg.Shards = shards
+		if shards > 1 {
+			// Force a full worker crew so the measurement reflects the
+			// shard count, not whatever the CPU-token budget happens
+			// to hold (on few-core hosts the workers time-share).
+			cfg.ShardWorkers = shards
+		}
+		rf := routing.NewUGALL(c.t, paths.Full{T: c.t})
+		n := netsim.New(c.t, cfg, rf.CloneRouting(),
+			traffic.Shift{T: c.t, DG: 2, DS: 0}, c.rate)
+		start := time.Now()
+		r := n.Run(c.cycles/2, c.cycles/2, 0)
+		wall := time.Since(start)
+		if r.Measured == 0 {
+			fail("%s at %d shards measured no packets", c.name, shards)
+		}
+		gotShards, workers := n.ShardStats()
+		if gotShards != shards {
+			fail("%s requested %d shards, network built %d", c.name, shards, gotShards)
+		}
+		row := shardRun{
+			Shards:       shards,
+			Workers:      workers,
+			WallSeconds:  wall.Seconds(),
+			CyclesPerSec: float64(c.cycles) / wall.Seconds(),
+		}
+		if shards == 1 {
+			baseline, baseRate = r, row.CyclesPerSec
+			row.Speedup = 1
+		} else {
+			// The determinism contract, enforced: a sharded run must
+			// reproduce the sequential RunResult bit for bit.
+			if r != baseline {
+				fail("%s: %d-shard result diverged from sequential:\n  seq:     %+v\n  sharded: %+v",
+					c.name, shards, baseline, r)
+			}
+			row.Speedup = row.CyclesPerSec / baseRate
+		}
+		res.Runs = append(res.Runs, row)
+		fmt.Printf("%-8s shards=%d workers=%d  %8.2fs  %9.0f cycles/s  %.2fx\n",
+			c.name, shards, workers, row.WallSeconds, row.CyclesPerSec, row.Speedup)
+	}
+	return res
+}
+
+func main() {
+	out := flag.String("o", "BENCH_netsim.json", "write the JSON report to this file")
+	quick := flag.Bool("quick", false, "CI tier: g=9 only, short windows")
+	flag.Parse()
+
+	var cases []benchCase
+	if *quick {
+		cases = []benchCase{
+			{name: "g9", t: topo.MustNew(4, 8, 4, 9), cycles: 2000, rate: 0.15},
+		}
+	} else {
+		cases = []benchCase{
+			{name: "g17", t: topo.MustNew(4, 8, 4, 17), cycles: 2000, rate: 0.15},
+			{name: "sw702", t: topo.MustNew(13, 26, 13, 27), cycles: 1000, rate: 0.1},
+		}
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+	}
+	for _, c := range cases {
+		rep.Cases = append(rep.Cases, runCase(c, []int{1, 2, 4, 8}))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -49,6 +49,7 @@ func main() {
 	globalLat := flag.Int("global-latency", 15, "global channel latency")
 	speedup := flag.Int("speedup", 2, "router internal speedup")
 	pktSize := flag.Int("packet", 1, "flits per packet (>1 enables wormhole)")
+	shards := flag.Int("shards", 0, "simulator shards (0/1 = sequential; bit-identical results)")
 	doSweep := flag.Bool("sweep", false, "sweep loads up to -rate and report the curve")
 	points := flag.Int("points", 8, "sweep points")
 	chanStats := flag.Bool("chanstats", false, "collect and print per-channel utilization")
@@ -85,6 +86,7 @@ func main() {
 		LatencyCap:       500,
 		Seed:             *seed,
 		PacketSize:       *pktSize,
+		Shards:           *shards,
 		CollectChanStats: *chanStats,
 	}
 	if *vcs > 0 {

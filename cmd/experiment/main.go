@@ -59,6 +59,7 @@ func run() int {
 	out := flag.String("o", "", "write results JSON to this file")
 	example := flag.Bool("example", false, "print an example suite and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "simulator shards per run for entries that don't set \"shards\" (0/1 = sequential; bit-identical results)")
 	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -121,6 +122,13 @@ func run() int {
 	pool := exec.NewPool(*workers)
 	if *progress {
 		pool.SetObserver(exec.Progress(os.Stderr))
+	}
+	if *shards > 1 {
+		for i := range suite.Experiments {
+			if suite.Experiments[i].Shards == 0 {
+				suite.Experiments[i].Shards = *shards
+			}
+		}
 	}
 
 	// Run every suite entry on the pool, then print in suite order.

@@ -31,6 +31,7 @@ func main() {
 	seeds := flag.Int("seeds", 1, "simulation seeds per point")
 	outDir := flag.String("o", "", "directory for TSV output (optional)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "simulator shards per run (0/1 = sequential; bit-identical results)")
 	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures: -exp required (or -list)")
 		os.Exit(2)
 	}
-	opt := figures.Options{Scale: figures.ScaleDemo, Seed: *seed, Seeds: *seeds}
+	opt := figures.Options{Scale: figures.ScaleDemo, Seed: *seed, Seeds: *seeds, Shards: *shards}
 	switch *scale {
 	case "demo":
 	case "paper":

@@ -50,6 +50,11 @@ type Stat struct {
 	// arena size of a compiled path store for compile tasks, 0 when
 	// not applicable.
 	Bytes int64
+	// Shards and ShardWorkers describe intra-run parallelism for
+	// simulation tasks that stepped a sharded network: the shard
+	// count and the workers that stepped them (both 0 when not
+	// applicable, e.g. a sequential simulation or a compile task).
+	Shards, ShardWorkers int
 	// Queued counts submitted tasks not yet executing, Running the
 	// tasks currently executing, Done the tasks completed over the
 	// pool's lifetime.
@@ -156,6 +161,13 @@ func (p *Pool) Run(label string, n int, task Task) {
 		}()
 		p.queued.Add(-1)
 		p.running.Add(1)
+		// The task's goroutine occupies one CPU for its duration;
+		// debit the shared token budget so intra-run parallelism
+		// (netsim's shard engine) sizes itself off what's left. The
+		// credit is deferred: a panicking task must not leak its
+		// token (the budget outlives this pool).
+		cpuTokens.Add(-1)
+		defer cpuTokens.Add(1)
 		start := time.Now()
 		cycles := task(i)
 		wall := time.Since(start)
@@ -188,6 +200,47 @@ func (p *Pool) Run(label string, n int, task Task) {
 	}
 }
 
+// cpuTokens is the process-wide CPU budget shared by the worker pool
+// and netsim's shard engine, initialized to GOMAXPROCS. Every pool
+// task holds one token implicitly while running (debited around the
+// task body), so a sharded simulation inside a saturated fan-out sees
+// an empty budget and steps single-threaded, while the same
+// simulation on an idle machine acquires workers up to the core
+// count. The budget is advisory: the balance may go briefly negative
+// when the pool runs excess tasks inline on the submitting goroutine
+// (those share a CPU with their submitter but still debit one), which
+// errs toward fewer shard workers, never more.
+var cpuTokens atomic.Int64
+
+// AcquireTokens takes up to want tokens from the shared CPU budget
+// and returns how many were obtained (0 when the budget is exhausted;
+// never more than want). Callers must return them via ReleaseTokens.
+func AcquireTokens(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := cpuTokens.Load()
+		if cur <= 0 {
+			return 0
+		}
+		g := int64(want)
+		if g > cur {
+			g = cur
+		}
+		if cpuTokens.CompareAndSwap(cur, cur-g) {
+			return int(g)
+		}
+	}
+}
+
+// ReleaseTokens returns tokens acquired with AcquireTokens.
+func ReleaseTokens(n int) {
+	if n > 0 {
+		cpuTokens.Add(int64(n))
+	}
+}
+
 // Progress returns an Observer that writes one line per completed
 // task to w — label, wall time, simulated-cycle rate and the pool's
 // queued/running/done counters. The write is a single call, so lines
@@ -202,6 +255,9 @@ func Progress(w io.Writer) Observer {
 		if s.Bytes > 0 {
 			rate += fmt.Sprintf(" %.1f MiB", float64(s.Bytes)/(1<<20))
 		}
+		if s.Shards > 1 {
+			rate += fmt.Sprintf(" %d shards/%d workers", s.Shards, s.ShardWorkers)
+		}
 		fmt.Fprintf(w, "[%d done, %d running, %d queued] %s#%d %v%s\n",
 			s.Done, s.Running, s.Queued, s.Label, s.Index,
 			s.Wall.Round(time.Millisecond), rate)
@@ -212,7 +268,10 @@ func Progress(w io.Writer) Observer {
 // and spec; sized to GOMAXPROCS unless replaced.
 var defaultPool atomic.Pointer[Pool]
 
-func init() { defaultPool.Store(NewPool(0)) }
+func init() {
+	cpuTokens.Store(int64(runtime.GOMAXPROCS(0)))
+	defaultPool.Store(NewPool(0))
+}
 
 // Default returns the shared pool.
 func Default() *Pool { return defaultPool.Load() }

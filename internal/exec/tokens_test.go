@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The CPU-token budget is what keeps intra-run shard workers from
+// oversubscribing the machine when they compose with the outer pool:
+// the balance starts at GOMAXPROCS, every running pool task holds one
+// token, and AcquireTokens hands out only what remains.
+
+func drainTokens(t *testing.T) int {
+	t.Helper()
+	total := 0
+	for {
+		got := AcquireTokens(1 << 20)
+		total += got
+		if got == 0 {
+			return total
+		}
+	}
+}
+
+func TestAcquireTokensClampsAndRestores(t *testing.T) {
+	// Drain whatever the current balance is so the test owns it all
+	// (other tests' pools are quiescent here).
+	budget := drainTokens(t)
+	defer ReleaseTokens(budget)
+	if budget < 1 {
+		t.Fatalf("token budget %d, want >= 1 (init is GOMAXPROCS=%d)",
+			budget, runtime.GOMAXPROCS(0))
+	}
+	ReleaseTokens(budget)
+	if got := AcquireTokens(budget + 100); got != budget {
+		t.Fatalf("AcquireTokens(all+100) = %d, want clamp to %d", got, budget)
+	}
+	if got := AcquireTokens(1); got != 0 {
+		t.Fatalf("AcquireTokens on empty budget = %d, want 0", got)
+	}
+	ReleaseTokens(budget)
+	if got := AcquireTokens(0); got != 0 {
+		t.Fatalf("AcquireTokens(0) = %d, want 0", got)
+	}
+	for i := 0; i < budget; i++ {
+		if got := AcquireTokens(1); got != 1 {
+			t.Fatalf("one-at-a-time acquire %d returned %d", i, got)
+		}
+	}
+	if got := AcquireTokens(1); got != 0 {
+		t.Fatalf("budget should be exhausted, got %d", got)
+	}
+}
+
+// TestPoolTasksHoldTokens pins the composition contract: while a pool
+// task runs it holds one token, so a saturated fan-out leaves nothing
+// for shard workers, and the balance is restored after Run returns.
+func TestPoolTasksHoldTokens(t *testing.T) {
+	budget := drainTokens(t)
+	defer ReleaseTokens(budget)
+	ReleaseTokens(budget)
+
+	p := NewPool(1) // inline execution: deterministic observation point
+	var inTask int
+	p.Run("tokens", 1, func(int) int64 {
+		inTask = AcquireTokens(1 << 20)
+		ReleaseTokens(inTask)
+		return 0
+	})
+	if want := budget - 1; inTask != want {
+		t.Fatalf("inside a running task %d tokens were available, want %d (one held by the task)",
+			inTask, want)
+	}
+	if after := AcquireTokens(1 << 20); after != budget {
+		t.Fatalf("after Run %d tokens available, want full budget %d", after, budget)
+	} else {
+		ReleaseTokens(after)
+	}
+}
+
+// TestTokensConcurrentAcquire hammers the CAS loop from many
+// goroutines and checks conservation: no token is ever minted or lost.
+func TestTokensConcurrentAcquire(t *testing.T) {
+	budget := drainTokens(t)
+	defer ReleaseTokens(budget)
+	const extra = 64
+	ReleaseTokens(extra) // a known pot for the goroutines to fight over
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if n := AcquireTokens(1 + g%3); n > 0 {
+					ReleaseTokens(n)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := AcquireTokens(1 << 20); got != extra {
+		t.Fatalf("after concurrent churn %d tokens remain, want %d", got, extra)
+	}
+}

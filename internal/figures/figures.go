@@ -46,6 +46,10 @@ type Options struct {
 	Seed  uint64
 	// Seeds is the number of simulation seeds averaged per point.
 	Seeds int
+	// Shards selects the simulator's intra-run sharded stepper for
+	// every run of the figure (0/1 = sequential; see
+	// netsim.Config.Shards). Results are bit-identical for any value.
+	Shards int
 }
 
 // DefaultOptions returns demo-scale settings.
@@ -282,6 +286,7 @@ func latencyFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
 		cfg := netsim.DefaultConfig()
 		cfg.NumVCs = schemes[i].vcs
 		cfg.Seed = opt.Seed
+		cfg.Shards = opt.Shards
 		curves[i] = sweep.LatencyCurveOn(pool, t, cfg, schemes[i].rf, pf, rates, w, opt.Seeds)
 		return 0
 	})

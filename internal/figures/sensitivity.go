@@ -51,6 +51,7 @@ func sensitivityFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
 		s := mkSchemes(t, opt, cells[i].name)[0]
 		cfg := cells[i].v.cfg
 		cfg.Seed = opt.Seed
+		cfg.Shards = opt.Shards
 		if cfg.NumVCs == 0 {
 			cfg.NumVCs = s.vcs
 		}

@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Property test for the allocator's incremental scan state: after any
+// sequence of enqueue/dequeue operations, portMask, vcMask, headCache,
+// inOcc, flits and the shard active bitsets must agree with a
+// brute-force recomputation from the underlying queues. These
+// invariants are what let allocate visit only set bits — a stale mask
+// or active bit silently drops or invents work.
+
+// checkScanState recomputes every derived structure of router rt from
+// its input queues and compares.
+func checkScanState(t *testing.T, n *Network, rt *router, step int) {
+	t.Helper()
+	numVCs := n.Cfg.NumVCs
+	ports := n.T.Radix()
+	var flits int32
+	var portMask uint64
+	for p := 0; p < ports; p++ {
+		var occ int32
+		var vm uint16
+		for v := 0; v < numVCs; v++ {
+			slot := p*numVCs + v
+			q := &rt.in[slot]
+			occ += int32(q.len())
+			wantHead := uint16(headEmpty)
+			if head := q.peek(); head != nil {
+				vm |= 1 << v
+				hop := head.route()[head.HopIdx]
+				wantHead = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+			}
+			if rt.headCache[slot] != wantHead {
+				t.Fatalf("step %d: router %d headCache[%d,%d] = %#x, recomputed %#x",
+					step, rt.id, p, v, rt.headCache[slot], wantHead)
+			}
+		}
+		if rt.vcMask[p] != vm {
+			t.Fatalf("step %d: router %d vcMask[%d] = %#x, recomputed %#x",
+				step, rt.id, p, rt.vcMask[p], vm)
+		}
+		if rt.inOcc[p] != occ {
+			t.Fatalf("step %d: router %d inOcc[%d] = %d, recomputed %d",
+				step, rt.id, p, rt.inOcc[p], occ)
+		}
+		if vm != 0 {
+			portMask |= 1 << p
+		}
+		flits += occ
+	}
+	if rt.portMask != portMask {
+		t.Fatalf("step %d: router %d portMask = %#x, recomputed %#x",
+			step, rt.id, rt.portMask, portMask)
+	}
+	if rt.flits != flits {
+		t.Fatalf("step %d: router %d flits = %d, recomputed %d",
+			step, rt.id, rt.flits, flits)
+	}
+	sh := &n.shards[rt.id/n.shardSize]
+	i := uint32(rt.id - sh.lo)
+	active := sh.active[i>>6]&(1<<(i&63)) != 0
+	if active != (flits > 0) {
+		t.Fatalf("step %d: router %d active bit = %v with %d flits",
+			step, rt.id, active, flits)
+	}
+}
+
+// TestActiveSetInvariants drives randomized enqueue/dequeue sequences
+// directly against the maintenance code (no allocator in the loop) and
+// brute-force-verifies the scan state after every operation.
+func TestActiveSetInvariants(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	cfg := DefaultConfig()
+	cfg.Shards = 4 // exercise the multi-shard active bitsets too
+	n := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0)
+	if n.Shards() != 4 {
+		t.Fatalf("built %d shards, want 4", n.Shards())
+	}
+	r := rng.New(99)
+	numVCs := n.Cfg.NumVCs
+	ports := tp.Radix()
+	// A pool of 1-hop routes so refreshHead has something to decode;
+	// the decoded next hop is arbitrary — only cache agreement matters.
+	mkFlit := func(id int64) *Flit {
+		f := &Flit{ID: id, IsTail: true, pending: 1}
+		f.Route = append(f.Route, RouteHop{
+			Port: int8(r.Intn(ports)), VC: int8(r.Intn(numVCs)),
+		})
+		return f
+	}
+	type slotRef struct {
+		rt       *router
+		port, vc int
+	}
+	var occupied []slotRef // one entry per buffered flit, any order
+	var nextID int64
+	const steps = 4000
+	for i := 0; i < steps; i++ {
+		rt := &n.routers[r.Intn(len(n.routers))]
+		// Bias toward enqueue so buffers build depth, but always
+		// dequeue when anything is buffered at the sampled point.
+		if len(occupied) == 0 || r.Float64() < 0.6 {
+			port, vc := r.Intn(ports), r.Intn(numVCs)
+			n.enqueue(rt, port, vc, mkFlit(nextID))
+			nextID++
+			occupied = append(occupied, slotRef{rt, port, vc})
+			checkScanState(t, n, rt, i)
+		} else {
+			k := r.Intn(len(occupied))
+			ref := occupied[k]
+			occupied[k] = occupied[len(occupied)-1]
+			occupied = occupied[:len(occupied)-1]
+			if f := n.dequeue(ref.rt, ref.port, ref.vc); f == nil {
+				t.Fatalf("step %d: dequeue returned nil from occupied slot", i)
+			}
+			checkScanState(t, n, ref.rt, i)
+		}
+	}
+	// Drain everything and verify the global quiescent state: no
+	// active bits, no masks, all caches empty.
+	for _, ref := range occupied {
+		n.dequeue(ref.rt, ref.port, ref.vc)
+	}
+	for i := range n.routers {
+		checkScanState(t, n, &n.routers[i], steps)
+	}
+	for s := range n.shards {
+		for w, word := range n.shards[s].active {
+			if word != 0 {
+				t.Fatalf("drained network: shard %d active word %d = %#x", s, w, word)
+			}
+		}
+	}
+}
+
+// TestActiveSetUnderTraffic repeats the brute-force check against the
+// full simulator (inject + allocate + wheel delivery mutating the
+// queues) at several cycles, sequential and sharded.
+func TestActiveSetUnderTraffic(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	for _, shards := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Shards = shards
+		n := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0.4)
+		for c := 0; c < 600; c++ {
+			n.step()
+			if c%97 == 0 {
+				for i := range n.routers {
+					checkScanState(t, n, &n.routers[i], c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package netsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/routing"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// BenchmarkStepSharded measures the cycle loop at 1/2/4/8 shards with
+// the worker crew forced to the shard count, on the paper's g=9
+// topology and (unless -short) the 702-switch fig13/14 topology. The
+// 1-shard case is the sequential stepper — the baseline every sharded
+// ns/op compares against. Speedup requires cores: on GOMAXPROCS=1
+// hosts the sharded cases only measure engine overhead.
+// cmd/benchnetsim records the same measurement to BENCH_netsim.json
+// for the perf trajectory.
+func BenchmarkStepSharded(b *testing.B) {
+	bench := func(b *testing.B, t *topo.Topology, cycles int64, rate float64) {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+				cfg := netsim.DefaultConfig()
+				cfg.Shards = shards
+				if shards > 1 {
+					cfg.ShardWorkers = shards
+				}
+				rf := routing.NewUGALL(t, paths.Full{T: t})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n := netsim.New(t, cfg, rf.CloneRouting(),
+						traffic.Shift{T: t, DG: 2, DS: 0}, rate)
+					res := n.Run(cycles/2, cycles/2, 0)
+					if res.Measured == 0 {
+						b.Fatal("no packets measured")
+					}
+				}
+				b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+			})
+		}
+	}
+	b.Run("g9", func(b *testing.B) {
+		bench(b, topo.MustNew(4, 8, 4, 9), 2000, 0.15)
+	})
+	b.Run("sw702", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("702-switch topology skipped in -short")
+		}
+		bench(b, topo.MustNew(13, 26, 13, 27), 600, 0.1)
+	})
+}
+
+// BenchmarkInjectActive isolates the O(active) injection win: a large
+// network at a load so low that almost every terminal is idle almost
+// every cycle — the regime where the former full node scan dominated.
+func BenchmarkInjectActive(b *testing.B) {
+	t := topo.MustNew(4, 8, 4, 17) // 2176 nodes
+	cfg := netsim.DefaultConfig()
+	rf := routing.NewMin(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := netsim.New(t, cfg, rf.CloneRouting(), traffic.Uniform{T: t}, 0.002)
+		res := n.Run(2000, 2000, 0)
+		if res.Measured == 0 {
+			b.Fatal("no packets measured")
+		}
+	}
+	b.ReportMetric(4000*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}

@@ -38,6 +38,27 @@ type Config struct {
 	// passes, body flits follow in order, and packet latency is
 	// measured head-generation to tail-ejection.
 	PacketSize int
+	// Shards partitions the routers into static contiguous shards
+	// stepped by the intra-run parallel engine: each shard owns its
+	// routers' state, a timing-wheel segment and an allocation pass,
+	// and cross-shard events flow through per-(source, destination)
+	// mailboxes merged in fixed shard order at the cycle barrier, so
+	// the results are bit-identical for every shard count. 0 or 1
+	// selects the sequential stepper. Shards only takes effect for
+	// routing functions that declare (via InFlightReviser) that they
+	// never revise a route in flight: PAR's mid-route revision reads
+	// remote queue state and draws routeRNG at head-of-buffer time,
+	// which has no lookahead and therefore runs sequentially.
+	Shards int
+	// ShardWorkers forces the number of OS-thread-parallel workers
+	// stepping the shards (clamped to Shards). 0 — the default, and
+	// what production paths should use — derives the worker count
+	// from the shared exec CPU-token budget each Run, so intra-run
+	// parallelism composes with the outer fan-out pool without
+	// oversubscription. Results are bit-identical for any worker
+	// count; the knob exists for benchmarks and race tests that must
+	// exercise true multi-worker stepping regardless of budget.
+	ShardWorkers int
 }
 
 // DefaultConfig returns Table 3: 4 VCs, 32-flit buffers, 10/15-cycle
@@ -122,6 +143,19 @@ type RoutingFunc interface {
 	// figure curves) clones the routing function per run through this
 	// method, so there is no sequential fallback anywhere.
 	CloneRouting() RoutingFunc
+}
+
+// InFlightReviser is an optional RoutingFunc capability: a routing
+// function that can prove it never revises a route after injection
+// (never sets Flit.Revisable) returns false from RevisesInFlight,
+// which makes it eligible for the sharded stepper. Revision runs at
+// head-of-buffer time inside the allocation phase, reads remote queue
+// state and draws routeRNG — none of which has lookahead — so a
+// reviser (PAR), or any routing function that does not implement the
+// interface, is conservatively stepped sequentially regardless of
+// Config.Shards.
+type InFlightReviser interface {
+	RevisesInFlight() bool
 }
 
 // chanRef identifies the far end of a channel: a (router, port) pair.
@@ -220,12 +254,35 @@ type Network struct {
 
 	now     int64
 	routers []router
-	wheel   [][]event
-	wheelAt int
+	// wheel is the sequential stepper's single timing wheel; the
+	// sharded stepper leaves it empty and gives each shard its own
+	// segment instead. wheelLen is the common wheel length.
+	wheel    [][]event
+	wheelLen int
+
+	// shards is the static contiguous router partition (always at
+	// least one entry; exactly one when stepping sequentially). Each
+	// shard tracks which of its routers buffer flits in an active
+	// bitset; multi-shard networks additionally carry per-shard wheel
+	// segments, cross-shard mailboxes and ejection buffers.
+	shards    []simShard
+	shardSize int32
+	// engine drives the parallel phases while a Run holds workers;
+	// nil otherwise (step then processes shards inline).
+	engine *shardEngine
+	// lastWorkers records the worker count of the most recent Run.
+	lastWorkers int
 
 	// Per-node unbounded source queues and next generation times.
-	nodeQ   []fifo
-	nextGen []int64
+	// genCal buckets nodes by next generation cycle and srcActive
+	// lists nodes with non-empty source queues (sorted ascending), so
+	// inject visits O(active) nodes instead of all of them; srcNext
+	// is the double buffer srcActive is rebuilt into each cycle.
+	nodeQ     []fifo
+	nextGen   []int64
+	genCal    genCalendar
+	srcActive []int32
+	srcNext   []int32
 
 	trafficRNG *rng.Source
 	routeRNG   *rng.Source
@@ -307,7 +364,8 @@ func (n *Network) build() {
 	if n.Cfg.LocalLatency > maxLat {
 		maxLat = n.Cfg.LocalLatency
 	}
-	n.wheel = make([][]event, maxLat+2)
+	n.wheelLen = maxLat + 2
+	n.wheel = make([][]event, n.wheelLen)
 	n.routers = make([]router, sw)
 	if ports > 64 {
 		panic("netsim: switch radix above 64 unsupported by the port-mask allocator")
@@ -367,19 +425,28 @@ func (n *Network) build() {
 			n.routers[v].inChan[peerPt] = chanRef{r: int32(u), port: int8(pt)}
 		}
 	}
+	n.buildShards()
 	nodes := t.NumNodes()
 	n.nodeQ = make([]fifo, nodes)
 	n.nextGen = make([]int64, nodes)
+	n.genCal.init()
+	n.srcActive = make([]int32, 0, nodes)
+	n.srcNext = make([]int32, 0, nodes)
 	for i := range n.nextGen {
 		n.nextGen[i] = n.geomNext(0)
+		n.genCal.add(n.nextGen[i], int32(i))
 	}
 }
+
+// neverGen is the next-generation sentinel of a zero-rate source; the
+// generation calendar never registers it.
+const neverGen = math.MaxInt64
 
 // geomNext draws the next generation time strictly after 'after'
 // for the Bernoulli(rate) per-cycle injection process.
 func (n *Network) geomNext(after int64) int64 {
 	if n.rate <= 0 {
-		return math.MaxInt64
+		return neverGen
 	}
 	if n.rate >= 1 {
 		return after + 1
@@ -397,6 +464,22 @@ func (n *Network) geomNext(after int64) int64 {
 
 // Now returns the current simulation cycle.
 func (n *Network) Now() int64 { return n.now }
+
+// Shards returns the effective shard count: Config.Shards clamped to
+// the switch count and downgraded to 1 when the routing function may
+// revise routes in flight (see InFlightReviser).
+func (n *Network) Shards() int { return len(n.shards) }
+
+// ShardStats reports the effective shard count and the number of
+// parallel workers the most recent Run stepped them with (1 before
+// any Run, and always 1 when stepping sequentially).
+func (n *Network) ShardStats() (shards, workers int) {
+	w := n.lastWorkers
+	if w < 1 {
+		w = 1
+	}
+	return len(n.shards), w
+}
 
 // Routing returns the routing function under simulation.
 func (n *Network) Routing() RoutingFunc { return n.routing }
@@ -456,6 +539,25 @@ func (n *Network) audit() (inFlight int64, err error) {
 		for _, ev := range bucket {
 			if ev.flit != nil {
 				wheeled++
+			}
+		}
+	}
+	// Sharded stepping keeps in-flight flits in per-shard wheel
+	// segments and, between cycles, in the not-yet-merged mailboxes.
+	for s := range n.shards {
+		sh := &n.shards[s]
+		for _, bucket := range sh.wheel {
+			for _, ev := range bucket {
+				if ev.flit != nil {
+					wheeled++
+				}
+			}
+		}
+		for _, box := range sh.outbox {
+			for _, oe := range box {
+				if oe.ev.flit != nil {
+					wheeled++
+				}
 			}
 		}
 	}

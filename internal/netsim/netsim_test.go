@@ -43,6 +43,9 @@ func (m minRouter) SourceRoute(n *Network, r *rng.Source, f *Flit) {
 
 func (m minRouter) Revise(*Network, *rng.Source, *Flit, int32) {}
 
+// minRouter never sets Revisable, so it may step sharded.
+func (m minRouter) RevisesInFlight() bool { return false }
+
 // minRouter keeps no per-packet state, so it is its own clone.
 func (m minRouter) CloneRouting() RoutingFunc { return m }
 

@@ -34,7 +34,12 @@ type RunResult struct {
 	// Measured and Undelivered count measurement-window packets.
 	Measured    int64
 	Undelivered int64
-	// Cycles is the total simulated cycle count.
+	// Cycles is the network's total simulated cycle count at the end
+	// of the Run — cumulative since New, not per call. On a warm
+	// network (repeated Run calls, the mechanism behind RunConverged)
+	// each result's Cycles therefore includes all earlier phases:
+	// after RunConverged returns w windows with no drain overrun,
+	// Cycles == warmup + w*window exactly.
 	Cycles int64
 	// Channels holds per-channel utilization when
 	// Config.CollectChanStats was set (nil otherwise).
@@ -67,6 +72,11 @@ func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
 	if n.Cfg.CollectChanStats && n.chanCount == nil {
 		n.chanCount = make([]int64, n.T.NumSwitches()*(n.T.Radix()-n.T.P))
 	}
+	// Sharded networks step with a worker crew sized off the shared
+	// CPU-token budget for the duration of this Run (a no-op when
+	// sequential; see startEngine).
+	stop := n.startEngine()
+	defer stop()
 	for n.now < n.measEnd {
 		n.step()
 	}
@@ -170,8 +180,10 @@ func (n *Network) resetMeasurement() {
 // latency of consecutive windows agrees within relTol (or maxWindows
 // is hit), then runs one final drained window and reports it. The
 // returned int is the number of windows simulated (including the
-// final one). Use it instead of Run when the fixed three-window
-// warmup is not trusted for a workload.
+// final one), consistent with the result's cumulative cycle count:
+// unless the final drain ran past the window, res.Cycles ==
+// warmup + windows*window. Use it instead of Run when the fixed
+// three-window warmup is not trusted for a workload.
 func (n *Network) RunConverged(warmup, window int64, relTol float64,
 	maxWindows int, drainCap int64) (RunResult, int) {
 	if relTol <= 0 {
@@ -195,18 +207,33 @@ func (n *Network) RunConverged(warmup, window int64, relTol float64,
 	return res, maxWindows + 1
 }
 
-// step advances the simulation by one cycle.
+// step advances the simulation by one cycle: deliver, inject,
+// allocate. Multi-shard networks fan the deliver and allocate phases
+// out across shards (see shard.go); results are bit-identical either
+// way.
 func (n *Network) step() {
+	if len(n.shards) > 1 {
+		n.stepSharded()
+	} else {
+		n.stepSeq()
+	}
+}
+
+// stepSeq is the sequential stepper: one global timing wheel, inline
+// delivery and ejection.
+func (n *Network) stepSeq() {
 	n.deliverEvents()
 	n.inject()
-	n.allocate()
+	n.allocateShard(0)
 	n.now++
 }
 
 // deliverEvents processes the timing-wheel bucket for this cycle:
-// flit arrivals into input buffers and credit returns.
+// flit arrivals into input buffers and credit returns. The slot is
+// reduced in 64-bit arithmetic: cycle counts past 2^31 would
+// overflow a 32-bit int before the modulo.
 func (n *Network) deliverEvents() {
-	slot := int(n.now) % len(n.wheel)
+	slot := int(n.now % int64(n.wheelLen))
 	bucket := n.wheel[slot]
 	for i := range bucket {
 		ev := &bucket[i]
@@ -240,6 +267,9 @@ func (n *Network) enqueue(rt *router, port, vc int, f *Flit) {
 	q.push(f)
 	rt.inOcc[port]++
 	rt.flits++
+	if rt.flits == 1 {
+		n.markActive(rt.id)
+	}
 	rt.vcMask[port] |= 1 << vc
 	rt.portMask |= 1 << port
 	if q.len() == 1 {
@@ -255,6 +285,9 @@ func (n *Network) dequeue(rt *router, port, vc int) *Flit {
 	f := q.pop()
 	rt.inOcc[port]--
 	rt.flits--
+	if rt.flits == 0 {
+		n.clearActive(rt.id)
+	}
 	if next := q.peek(); next != nil {
 		n.refreshHead(rt, slot, next)
 	} else {
@@ -288,176 +321,249 @@ func (n *Network) schedule(delay int, ev event) {
 		panic(fmt.Sprintf("netsim: schedule delay %d outside timing wheel [0,%d); "+
 			"channel latencies must not change after New", delay, len(n.wheel)))
 	}
-	slot := int(n.now+int64(delay)) % len(n.wheel)
+	// 64-bit reduction before the int narrowing: on 32-bit platforms
+	// int(n.now + delay) overflows once the cycle count passes 2^31.
+	slot := int((n.now + int64(delay)) % int64(len(n.wheel)))
 	n.wheel[slot] = append(n.wheel[slot], ev)
 }
 
 // inject generates new packets and moves source-queue heads into the
 // terminal input buffers of their switches, computing routes at that
 // moment from current queue state (the source-router decision).
+//
+// Only nodes that can do anything this cycle are visited: the
+// generation calendar yields the nodes whose next packet is due now,
+// and srcActive lists the nodes with backed-up source queues. The two
+// sorted sequences are merged so nodes are still processed in
+// ascending id order — the exact trafficRNG/routeRNG draw order of
+// the full scan this replaces — making injection O(active) per cycle
+// instead of O(nodes). Injection always runs on the calling
+// goroutine, sequentially, in both stepper modes.
 func (n *Network) inject() {
+	due := n.genCal.pop(n.now)
+	active := n.srcActive
+	next := n.srcNext[:0]
+	i, j := 0, 0
+	for i < len(due) || j < len(active) {
+		var node int32
+		isDue := false
+		if j >= len(active) || (i < len(due) && due[i] <= active[j]) {
+			node = due[i]
+			isDue = true
+			if j < len(active) && active[j] == node {
+				j++
+			}
+			i++
+		} else {
+			node = active[j]
+			j++
+		}
+		next = n.injectNode(node, isDue, next)
+	}
+	n.srcActive = next
+	n.srcNext = active[:0]
+	n.genCal.recycle(due)
+}
+
+// injectNode runs one node's injection turn: packet generation when
+// its calendar entry is due, then one drain attempt from its source
+// queue into the terminal port. It appends the node to nextActive iff
+// the queue remains non-empty (the srcActive invariant: exactly the
+// nodes with queued flits, ascending) and returns the slice.
+func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 	t := n.T
-	nodes := t.NumNodes()
-	for node := 0; node < nodes; node++ {
-		if gen := n.nextGen[node]; gen <= n.now {
-			// Far beyond saturation a source queue only adds latency
-			// that is already far past the saturation threshold;
-			// capping it bounds memory without changing any
-			// pre-saturation statistic. Generation is skipped but the
-			// queue keeps draining below.
-			if dst, ok := n.pattern.Dest(n.trafficRNG, node); ok && dst != node &&
-				n.nodeQ[node].len() < sourceQueueCap {
-				size := n.Cfg.PacketSize
-				head := n.allocFlit()
-				head.ID = n.nextID
+	if due {
+		gen := n.nextGen[node]
+		// Far beyond saturation a source queue only adds latency
+		// that is already far past the saturation threshold;
+		// capping it bounds memory without changing any
+		// pre-saturation statistic. Generation is skipped but the
+		// queue keeps draining below.
+		if dst, ok := n.pattern.Dest(n.trafficRNG, int(node)); ok && dst != int(node) &&
+			n.nodeQ[node].len() < sourceQueueCap {
+			size := n.Cfg.PacketSize
+			head := n.allocFlit()
+			head.ID = n.nextID
+			n.nextID++
+			head.PktID = head.ID
+			head.Src, head.Dst = node, int32(dst)
+			head.GenTime = gen
+			head.pending = int32(size)
+			head.IsTail = size == 1
+			if gen >= n.measBegin && gen < n.measEnd {
+				head.Measured = true
+				n.measCount++
+			}
+			n.nodeQ[node].push(head)
+			n.injected++
+			for k := 1; k < size; k++ {
+				b := n.allocFlit()
+				b.ID = n.nextID
 				n.nextID++
-				head.PktID = head.ID
-				head.Src, head.Dst = int32(node), int32(dst)
-				head.GenTime = gen
-				head.pending = int32(size)
-				head.IsTail = size == 1
-				if gen >= n.measBegin && gen < n.measEnd {
-					head.Measured = true
-					n.measCount++
-				}
-				n.nodeQ[node].push(head)
+				b.PktID = head.PktID
+				b.Src, b.Dst = head.Src, head.Dst
+				b.GenTime = gen
+				b.head = head
+				b.IsTail = k == size-1
+				n.nodeQ[node].push(b)
 				n.injected++
-				for k := 1; k < size; k++ {
-					b := n.allocFlit()
-					b.ID = n.nextID
-					n.nextID++
-					b.PktID = head.PktID
-					b.Src, b.Dst = head.Src, head.Dst
-					b.GenTime = gen
-					b.head = head
-					b.IsTail = k == size-1
-					n.nodeQ[node].push(b)
-					n.injected++
-				}
-			}
-			n.nextGen[node] = n.geomNext(gen)
-		}
-		q := &n.nodeQ[node]
-		if q.len() == 0 {
-			continue
-		}
-		sw := int32(t.SwitchOfNode(node))
-		rt := &n.routers[sw]
-		termPort := t.NodeIndex(node)
-		// Terminal channel: one flit per cycle into VC 0, bounded by
-		// the input buffer depth.
-		if rt.in[termPort*n.Cfg.NumVCs].len() >= n.Cfg.BufSize {
-			continue
-		}
-		f := q.pop()
-		f.InjTime = n.now
-		if f.head == nil {
-			// Head flit: compute the packet's route now, from
-			// current source-router state.
-			n.routing.SourceRoute(n, n.routeRNG, f)
-			if f.Measured {
-				n.measInj++
-				if !f.MinRouted {
-					n.measVLB++
-				}
 			}
 		}
-		n.enqueue(rt, termPort, 0, f)
+		ng := n.geomNext(gen)
+		n.nextGen[node] = ng
+		n.genCal.add(ng, node)
+	}
+	q := &n.nodeQ[node]
+	if q.len() == 0 {
+		return nextActive
+	}
+	sw := int32(t.SwitchOfNode(int(node)))
+	rt := &n.routers[sw]
+	termPort := t.NodeIndex(int(node))
+	// Terminal channel: one flit per cycle into VC 0, bounded by
+	// the input buffer depth.
+	if rt.in[termPort*n.Cfg.NumVCs].len() >= n.Cfg.BufSize {
+		return append(nextActive, node)
+	}
+	f := q.pop()
+	f.InjTime = n.now
+	if f.head == nil {
+		// Head flit: compute the packet's route now, from
+		// current source-router state.
+		n.routing.SourceRoute(n, n.routeRNG, f)
+		if f.Revisable && len(n.shards) > 1 {
+			panic("netsim: routing function declared RevisesInFlight()==false " +
+				"but produced a Revisable flit under the sharded stepper")
+		}
+		if f.Measured {
+			n.measInj++
+			if !f.MinRouted {
+				n.measVLB++
+			}
+		}
+	}
+	n.enqueue(rt, termPort, 0, f)
+	if q.len() > 0 {
+		nextActive = append(nextActive, node)
+	}
+	return nextActive
+}
+
+// allocateShard performs switch allocation for every active router
+// of shard s, in ascending router-id order. The active bitset —
+// maintained exactly by enqueue/dequeue — replaces the former scan
+// over all routers; each word is iterated from a copy, so a router
+// clearing its own bit on going idle does not perturb the scan.
+func (n *Network) allocateShard(s int) {
+	sh := &n.shards[s]
+	base := int(sh.lo)
+	for w, word := range sh.active {
+		for word != 0 {
+			b := trailingZeros(word)
+			word &= word - 1
+			n.allocateRouter(base+w*64+b, sh)
+		}
 	}
 }
 
-// allocate performs switch allocation at every active router: up to
-// SpeedUp passes per cycle, one grant per input port per pass, one
-// flit per output channel per cycle, one ejection per terminal port
-// per cycle, credit-gated.
-func (n *Network) allocate() {
+// allocateRouter arbitrates one router: up to SpeedUp passes per
+// cycle, one grant per input port per pass, one flit per output
+// channel per cycle, one ejection per terminal port per cycle,
+// credit-gated. It touches only the router's own state; everything
+// outbound goes through emit (sequential: straight onto the wheel;
+// sharded: into the destination shard's mailbox) or, for ejections,
+// the shard's ejection buffer — which is what makes the phase safe
+// to run concurrently across shards.
+func (n *Network) allocateRouter(swi int, sh *simShard) {
 	t := n.T
 	ports := t.Radix()
 	numVCs := n.Cfg.NumVCs
-	for swi := range n.routers {
-		rt := &n.routers[swi]
-		if rt.flits == 0 {
-			continue
-		}
-		var outUsed uint64
-		rt.rrPort++
-		rot := int(rt.rrPort) % ports
-		for pass := 0; pass < n.Cfg.SpeedUp; pass++ {
-			moved := false
-			// Scan occupied ports in rotated order: bits >= rot
-			// first, then the wrap-around.
-			for _, m := range [2]uint64{
-				rt.portMask &^ (1<<rot - 1),
-				rt.portMask & (1<<rot - 1),
-			} {
-				for m != 0 {
-					port := trailingZeros(m)
-					m &= m - 1
-					vcStart := (port + int(n.now)) % numVCs
-					for vi := 0; vi < numVCs; vi++ {
-						vc := (vcStart + vi) % numVCs
-						head := rt.headCache[port*numVCs+vc]
-						if head == headEmpty {
-							continue
-						}
-						out := int(head >> 8)
-						if outUsed&(1<<out) != 0 {
-							continue
-						}
-						if out < t.P {
-							// Ejection.
-							outUsed |= 1 << out
-							f := n.dequeue(rt, port, vc)
-							n.returnCredit(rt, port, vc)
+	rt := &n.routers[swi]
+	var outUsed uint64
+	rt.rrPort++
+	rot := int(rt.rrPort) % ports
+	// 64-bit reduction once per router (int(n.now) overflows 32-bit
+	// ints past 2^31, like the wheel-slot arithmetic).
+	nowVC := int(n.now % int64(numVCs))
+	for pass := 0; pass < n.Cfg.SpeedUp; pass++ {
+		moved := false
+		// Scan occupied ports in rotated order: bits >= rot
+		// first, then the wrap-around.
+		for _, m := range [2]uint64{
+			rt.portMask &^ (1<<rot - 1),
+			rt.portMask & (1<<rot - 1),
+		} {
+			for m != 0 {
+				port := trailingZeros(m)
+				m &= m - 1
+				vcStart := (port + nowVC) % numVCs
+				for vi := 0; vi < numVCs; vi++ {
+					vc := (vcStart + vi) % numVCs
+					head := rt.headCache[port*numVCs+vc]
+					if head == headEmpty {
+						continue
+					}
+					out := int(head >> 8)
+					if outUsed&(1<<out) != 0 {
+						continue
+					}
+					if out < t.P {
+						// Ejection.
+						outUsed |= 1 << out
+						f := n.dequeue(rt, port, vc)
+						n.returnCredit(sh, rt, port, vc)
+						if sh.wheel == nil {
 							n.deliver(f)
 						} else {
-							outVC := int(head & 0xff)
-							ci := (out-t.P)*numVCs + outVC
-							if rt.credits[ci] <= 0 {
-								continue
-							}
-							if rt.ovcOwner != nil {
-								// Wormhole: heads acquire a free
-								// output VC; body/tail flits may only
-								// follow their own packet.
-								f := rt.in[port*numVCs+vc].peek()
-								owner := rt.ovcOwner[ci]
-								if f.head == nil {
-									if owner != -1 {
-										continue
-									}
-								} else if owner != f.PktID {
+							sh.eject = append(sh.eject, f)
+						}
+					} else {
+						outVC := int(head & 0xff)
+						ci := (out-t.P)*numVCs + outVC
+						if rt.credits[ci] <= 0 {
+							continue
+						}
+						if rt.ovcOwner != nil {
+							// Wormhole: heads acquire a free
+							// output VC; body/tail flits may only
+							// follow their own packet.
+							f := rt.in[port*numVCs+vc].peek()
+							owner := rt.ovcOwner[ci]
+							if f.head == nil {
+								if owner != -1 {
 									continue
 								}
-							}
-							outUsed |= 1 << out
-							rt.credits[ci]--
-							f := n.dequeue(rt, port, vc)
-							n.returnCredit(rt, port, vc)
-							f.HopIdx++
-							if rt.ovcOwner != nil {
-								if f.IsTail {
-									rt.ovcOwner[ci] = -1
-								} else if f.head == nil {
-									rt.ovcOwner[ci] = f.PktID
-								}
-							}
-							peer := rt.outPeer[out-t.P]
-							n.schedule(int(rt.outLat[out-t.P]), event{
-								flit: f, r: peer.r, port: peer.port, vc: int8(outVC),
-							})
-							if n.chanCount != nil && n.now >= n.measBegin && n.now < n.measEnd {
-								n.chanCount[swi*(ports-t.P)+out-t.P]++
+							} else if owner != f.PktID {
+								continue
 							}
 						}
-						moved = true
-						break
+						outUsed |= 1 << out
+						rt.credits[ci]--
+						f := n.dequeue(rt, port, vc)
+						n.returnCredit(sh, rt, port, vc)
+						f.HopIdx++
+						if rt.ovcOwner != nil {
+							if f.IsTail {
+								rt.ovcOwner[ci] = -1
+							} else if f.head == nil {
+								rt.ovcOwner[ci] = f.PktID
+							}
+						}
+						peer := rt.outPeer[out-t.P]
+						n.emit(sh, int(rt.outLat[out-t.P]), event{
+							flit: f, r: peer.r, port: peer.port, vc: int8(outVC),
+						})
+						if n.chanCount != nil && n.now >= n.measBegin && n.now < n.measEnd {
+							n.chanCount[swi*(ports-t.P)+out-t.P]++
+						}
 					}
+					moved = true
+					break
 				}
 			}
-			if !moved {
-				break
-			}
+		}
+		if !moved {
+			break
 		}
 	}
 }
@@ -466,15 +572,16 @@ func (n *Network) allocate() {
 func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 
 // returnCredit sends a credit for the freed input slot back to the
-// upstream router (no-op for terminal inputs).
-func (n *Network) returnCredit(rt *router, port, vc int) {
+// upstream router (no-op for terminal inputs), through the emitting
+// shard's event sink — the upstream router may live in another shard.
+func (n *Network) returnCredit(sh *simShard, rt *router, port, vc int) {
 	up := rt.inChan[port]
 	if up.r < 0 {
 		return
 	}
 	// Reverse channel has the same latency as the forward one.
 	lat := n.routers[up.r].outLat[int(up.port)-n.T.P]
-	n.schedule(int(lat), event{r: up.r, port: up.port, vc: int8(vc)})
+	n.emit(sh, int(lat), event{r: up.r, port: up.port, vc: int8(vc)})
 }
 
 // deliver ejects a flit at its destination and records statistics.

@@ -1,0 +1,382 @@
+package netsim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tugal/internal/exec"
+)
+
+// The sharded stepper is a conservative parallel discrete-event
+// engine. Channel latencies are at least one cycle, so everything a
+// router does in cycle t can only be observed elsewhere at t+1 or
+// later — the guaranteed lookahead that lets all routers of a cycle
+// be processed concurrently. Routers are partitioned into static
+// contiguous shards; each cycle runs as barrier-separated phases:
+//
+//	deliver  (parallel)   each shard merges last cycle's mailboxes
+//	                      into its wheel segment and drains this
+//	                      cycle's bucket into its own routers
+//	inject   (sequential) node-order injection, preserving the
+//	                      trafficRNG/routeRNG draw order
+//	allocate (parallel)   each shard arbitrates its own routers;
+//	                      every event (flit hand-off, credit return)
+//	                      goes into the mailbox of the destination
+//	                      router's shard; ejections buffer per shard
+//	eject    (sequential) per-shard ejection buffers drain in shard
+//	                      order, keeping the floating-point
+//	                      accumulation order of the statistics
+//
+// Determinism contract: results are bit-identical to the sequential
+// stepper for every shard and worker count. The sequential wheel
+// bucket for a delivery cycle is appended in (emission cycle,
+// ascending source router id) order, because allocate scans routers
+// in ascending order. Merging the per-(source, destination) mailboxes
+// in fixed ascending source-shard order each cycle reconstructs
+// exactly that order — shards are contiguous ascending id ranges —
+// so every input buffer receives its flits in the sequential order,
+// and all downstream arbitration decisions coincide.
+
+// simShard is one static partition of the routers. lo/hi bound the
+// owned id range [lo, hi). active has bit (id-lo) set iff router id
+// buffers any flit; enqueue/dequeue maintain it so allocate scans
+// set bits instead of every router. The remaining fields are nil on
+// single-shard networks (the sequential stepper uses the global
+// wheel and delivers ejections inline): wheel is the shard's private
+// timing-wheel segment, outbox[d] the mailbox of events this shard
+// emitted for shard d during the current allocate phase, and eject
+// the flits this shard ejected this cycle, in ascending router order.
+type simShard struct {
+	lo, hi int32
+	active []uint64
+	wheel  [][]event
+	outbox [][]outEvent
+	eject  []*Flit
+}
+
+// outEvent is a mailbox entry: the event plus its precomputed wheel
+// slot (delivery slots are computed at emission time, when n.now is
+// the emission cycle).
+type outEvent struct {
+	ev   event
+	slot int32
+}
+
+// buildShards resolves the effective shard count and partitions the
+// routers. Shards only engage when the routing function declares (via
+// InFlightReviser) that it never revises routes in flight; anything
+// else — including routing functions that predate the interface —
+// conservatively steps sequentially.
+func (n *Network) buildShards() {
+	sw := len(n.routers)
+	s := n.Cfg.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > sw {
+		s = sw
+	}
+	if s > 1 {
+		ir, ok := n.routing.(InFlightReviser)
+		if !ok || ir.RevisesInFlight() {
+			s = 1
+		}
+	}
+	size := (sw + s - 1) / s
+	n.shardSize = int32(size)
+	count := (sw + size - 1) / size
+	n.shards = make([]simShard, count)
+	for i := range n.shards {
+		sh := &n.shards[i]
+		sh.lo = int32(i * size)
+		sh.hi = int32(min((i+1)*size, sw))
+		sh.active = make([]uint64, (int(sh.hi-sh.lo)+63)/64)
+		if count > 1 {
+			sh.wheel = make([][]event, n.wheelLen)
+			sh.outbox = make([][]outEvent, count)
+		}
+	}
+}
+
+// markActive sets the router's bit in its shard's active set; called
+// when a router's buffered-flit count becomes non-zero.
+func (n *Network) markActive(id int32) {
+	sh := &n.shards[id/n.shardSize]
+	i := uint32(id - sh.lo)
+	sh.active[i>>6] |= 1 << (i & 63)
+}
+
+// clearActive clears the router's bit; called when the count drops
+// back to zero. Both transitions touch only the router's own shard,
+// and shards allocate their bitsets separately, so the parallel
+// phases never write a shared word.
+func (n *Network) clearActive(id int32) {
+	sh := &n.shards[id/n.shardSize]
+	i := uint32(id - sh.lo)
+	sh.active[i>>6] &^= 1 << (i & 63)
+}
+
+// stepSharded is one cycle of the multi-shard stepper. The parallel
+// phases fan out over the engine's workers when a Run holds any, and
+// run inline (still through the mailbox machinery, so results are
+// identical) otherwise.
+func (n *Network) stepSharded() {
+	if e := n.engine; e != nil {
+		e.run(phaseDeliver)
+	} else {
+		for s := range n.shards {
+			n.shardDeliver(s)
+		}
+	}
+	n.inject()
+	if e := n.engine; e != nil {
+		e.run(phaseAllocate)
+	} else {
+		for s := range n.shards {
+			n.allocateShard(s)
+		}
+	}
+	// Drain ejection buffers in shard order = ascending router order:
+	// the exact order the sequential allocator calls deliver in, so
+	// the Welford/histogram floating-point accumulation (and free-list
+	// order) match bit for bit. Nothing reads delivery statistics or
+	// the free list between allocation and here, so deferring the
+	// calls past the allocate barrier cannot change any result.
+	for s := range n.shards {
+		sh := &n.shards[s]
+		for i, f := range sh.eject {
+			n.deliver(f)
+			sh.eject[i] = nil
+		}
+		sh.eject = sh.eject[:0]
+	}
+	n.now++
+}
+
+// shardDeliver merges the mailboxes addressed to shard s — in fixed
+// ascending source-shard order, the heart of the determinism
+// contract — and then drains this cycle's wheel bucket into the
+// shard's own routers.
+func (n *Network) shardDeliver(s int) {
+	sh := &n.shards[s]
+	for src := range n.shards {
+		box := n.shards[src].outbox[s]
+		for i := range box {
+			oe := &box[i]
+			sh.wheel[oe.slot] = append(sh.wheel[oe.slot], oe.ev)
+			box[i].ev.flit = nil
+		}
+		// Only slot s of the source's outbox array is touched here,
+		// and only by this shard; the source refills it next allocate
+		// phase, on the far side of a barrier.
+		n.shards[src].outbox[s] = box[:0]
+	}
+	slot := int(n.now % int64(n.wheelLen))
+	bucket := sh.wheel[slot]
+	for i := range bucket {
+		ev := &bucket[i]
+		rt := &n.routers[ev.r]
+		if ev.flit != nil {
+			n.enqueue(rt, int(ev.port), int(ev.vc), ev.flit)
+			ev.flit = nil
+		} else {
+			rt.credits[(int(ev.port)-n.T.P)*n.Cfg.NumVCs+int(ev.vc)]++
+		}
+	}
+	sh.wheel[slot] = bucket[:0]
+}
+
+// emit routes an event produced by shard sh during allocation: the
+// sequential stepper schedules it on the global wheel directly, the
+// sharded stepper appends it to the mailbox of the destination
+// router's shard, tagged with its delivery slot.
+func (n *Network) emit(sh *simShard, delay int, ev event) {
+	if sh.wheel == nil {
+		n.schedule(delay, ev)
+		return
+	}
+	if delay < 0 || delay >= n.wheelLen {
+		panic(fmt.Sprintf("netsim: schedule delay %d outside timing wheel [0,%d); "+
+			"channel latencies must not change after New", delay, n.wheelLen))
+	}
+	slot := int32((n.now + int64(delay)) % int64(n.wheelLen))
+	d := ev.r / n.shardSize
+	sh.outbox[d] = append(sh.outbox[d], outEvent{ev: ev, slot: slot})
+}
+
+// Engine phases, claimed shard by shard off an atomic counter.
+const (
+	phaseDeliver = iota
+	phaseAllocate
+)
+
+// shardEngine holds the worker goroutines of one Run. Workers park on
+// the wake channel between phases; run releases them, joins in with
+// the calling goroutine, and collects completions — two channel
+// rendezvous per phase, which also provide the memory barriers the
+// determinism argument needs. Worker count never affects results
+// (shards are independent within a phase), so the engine is free to
+// size itself off the shared CPU-token budget each Run.
+type shardEngine struct {
+	n       *Network
+	workers int
+	next    atomic.Int32
+	wake    chan int
+	done    chan struct{}
+}
+
+func newShardEngine(n *Network, workers int) *shardEngine {
+	e := &shardEngine{
+		n:       n,
+		workers: workers,
+		wake:    make(chan int),
+		done:    make(chan struct{}, workers-1),
+	}
+	for i := 1; i < workers; i++ {
+		go func() {
+			for ph := range e.wake {
+				e.work(ph)
+				e.done <- struct{}{}
+			}
+		}()
+	}
+	return e
+}
+
+// run executes one parallel phase across all shards and barriers.
+func (e *shardEngine) run(ph int) {
+	e.next.Store(0)
+	for i := 1; i < e.workers; i++ {
+		e.wake <- ph
+	}
+	e.work(ph)
+	for i := 1; i < e.workers; i++ {
+		<-e.done
+	}
+}
+
+// work claims shards until none remain.
+func (e *shardEngine) work(ph int) {
+	n := e.n
+	for {
+		s := int(e.next.Add(1)) - 1
+		if s >= len(n.shards) {
+			return
+		}
+		if ph == phaseDeliver {
+			n.shardDeliver(s)
+		} else {
+			n.allocateShard(s)
+		}
+	}
+}
+
+// stop releases the worker goroutines.
+func (e *shardEngine) stop() { close(e.wake) }
+
+// startEngine sizes and starts the worker crew for one Run, returning
+// the teardown. With Config.ShardWorkers unset the crew is sized from
+// the shared exec CPU-token budget — the calling goroutine (whose CPU
+// the enclosing pool task already accounts for) plus one worker per
+// acquired token — so a sharded simulation inside a saturated fan-out
+// gets zero extra workers instead of oversubscribing, and the tokens
+// return to the budget when the Run finishes.
+func (n *Network) startEngine() func() {
+	n.lastWorkers = 1
+	if len(n.shards) <= 1 {
+		return func() {}
+	}
+	workers := n.Cfg.ShardWorkers
+	tokens := 0
+	if workers <= 0 {
+		tokens = exec.AcquireTokens(len(n.shards) - 1)
+		workers = 1 + tokens
+	} else if workers > len(n.shards) {
+		workers = len(n.shards)
+	}
+	n.lastWorkers = workers
+	if workers <= 1 {
+		return func() {
+			exec.ReleaseTokens(tokens)
+		}
+	}
+	e := newShardEngine(n, workers)
+	n.engine = e
+	return func() {
+		e.stop()
+		n.engine = nil
+		exec.ReleaseTokens(tokens)
+	}
+}
+
+// genCalendar buckets node ids by their next packet-generation cycle,
+// so inject pops exactly the nodes due at n.now instead of scanning
+// all of them. Buckets are recycled through a free list; a bucket is
+// sorted at pop time when needed (nodes landing in the same future
+// cycle from different emission cycles can arrive out of id order).
+type genCalendar struct {
+	buckets map[int64][]int32
+	free    [][]int32
+}
+
+func (c *genCalendar) init() {
+	c.buckets = make(map[int64][]int32)
+}
+
+// add registers node for cycle t (no-op for the never-generates
+// sentinel used by zero-rate sources).
+func (c *genCalendar) add(t int64, node int32) {
+	if t == neverGen {
+		return
+	}
+	b, ok := c.buckets[t]
+	if !ok && len(c.free) > 0 {
+		b = c.free[len(c.free)-1][:0]
+		c.free = c.free[:len(c.free)-1]
+	}
+	c.buckets[t] = append(b, node)
+}
+
+// pop removes and returns the bucket for cycle t, sorted ascending
+// (nil when no node is due). The caller returns it via recycle.
+func (c *genCalendar) pop(t int64) []int32 {
+	b, ok := c.buckets[t]
+	if !ok {
+		return nil
+	}
+	delete(c.buckets, t)
+	if !int32sSorted(b) {
+		int32sSort(b)
+	}
+	return b
+}
+
+// recycle returns a popped bucket's storage to the free list.
+func (c *genCalendar) recycle(b []int32) {
+	if cap(b) > 0 {
+		c.free = append(c.free, b[:0])
+	}
+}
+
+func int32sSorted(b []int32) bool {
+	for i := 1; i < len(b); i++ {
+		if b[i] < b[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// int32sSort is an insertion sort: buckets are near-sorted short runs
+// (ascending per emission cycle), where this beats the generic sort.
+func int32sSort(b []int32) {
+	for i := 1; i < len(b); i++ {
+		v := b[i]
+		j := i - 1
+		for j >= 0 && b[j] > v {
+			b[j+1] = b[j]
+			j--
+		}
+		b[j+1] = v
+	}
+}

@@ -155,6 +155,12 @@ func (u *UGAL) CloneRouting() netsim.RoutingFunc {
 	return &c
 }
 
+// RevisesInFlight implements netsim.InFlightReviser: only PAR
+// (Progressive) marks flits Revisable and rewrites routes at
+// head-of-buffer time; every other mode decides the full route at the
+// source and is therefore eligible for the sharded stepper.
+func (u *UGAL) RevisesInFlight() bool { return u.Mode == Progressive }
+
 // Name implements netsim.RoutingFunc.
 func (u *UGAL) Name() string {
 	if u.Label != "" {

@@ -44,7 +44,7 @@ func compileFor(pool *exec.Pool, t *topo.Topology, pol paths.Policy) paths.Polic
 //	    "warmup": 30000, "measure": 10000, "drain": 20000,
 //	    "vcs": 0, "buffer": 32,
 //	    "localLatency": 10, "globalLatency": 15,
-//	    "speedup": 2, "packetSize": 1
+//	    "speedup": 2, "packetSize": 1, "shards": 0
 //	  }]
 //	}
 type Suite struct {
@@ -70,6 +70,11 @@ type Experiment struct {
 	GlobalLatency int       `json:"globalLatency"`
 	Speedup       int       `json:"speedup"`
 	PacketSize    int       `json:"packetSize"`
+	// Shards selects the simulator's intra-run sharded stepper
+	// (0/1 = sequential; see netsim.Config.Shards). Results are
+	// bit-identical for any value; schemes that revise routes in
+	// flight (PAR) fall back to sequential automatically.
+	Shards int `json:"shards"`
 }
 
 // LoadSuite parses and validates a suite.
@@ -143,6 +148,9 @@ func (e *Experiment) normalize() error {
 	if e.PacketSize == 0 {
 		e.PacketSize = 1
 	}
+	if e.Shards < 0 {
+		return fmt.Errorf("shards %d negative", e.Shards)
+	}
 	return nil
 }
 
@@ -211,6 +219,7 @@ func (e *Experiment) RunOn(pool *exec.Pool) (*ExperimentResult, error) {
 			LatencyCap:    500,
 			Seed:          e.Seed,
 			PacketSize:    e.PacketSize,
+			Shards:        e.Shards,
 		}
 		if e.VCs > 0 {
 			cfg.NumVCs = e.VCs

@@ -144,13 +144,30 @@ func RunPointOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
 		seeds = 1
 	}
 	results := make([]netsim.RunResult, seeds)
-	pool.Run(fmt.Sprintf("%s@%.3g", rf.Name(), rate), seeds, func(s int) int64 {
+	shardStats := make([][2]int, seeds)
+	label := fmt.Sprintf("%s@%.3g", rf.Name(), rate)
+	pool.Run(label, seeds, func(s int) int64 {
 		c := cfg
 		c.Seed = rng.Hash64(cfg.Seed, uint64(s))
 		n := netsim.New(t, c, rf.CloneRouting(), pf(c.Seed), rate)
 		results[s] = n.Run(w.Warmup, w.Measure, w.Drain)
+		shardStats[s][0], shardStats[s][1] = n.ShardStats()
 		return results[s].Cycles
 	})
+	// Surface intra-run parallelism to the observer: one line per
+	// point with the shard count and the widest worker crew any seed
+	// obtained from the CPU-token budget (crews size per Run, so
+	// seeds of one point may differ under a busy pool).
+	if shards := shardStats[0][0]; shards > 1 {
+		workers := 0
+		for _, st := range shardStats {
+			if st[1] > workers {
+				workers = st[1]
+			}
+		}
+		pool.Report(exec.Stat{Label: "shards/" + label,
+			Shards: shards, ShardWorkers: workers})
+	}
 	var lat, thr, vlb, hops []float64
 	saturated := false
 	for _, res := range results {
