@@ -1,0 +1,266 @@
+// Command benchmodel measures the throughput-model evaluation rate
+// behind Step 1 — the full Table-1 grid probe — in three modes and
+// writes the matrix to a JSON file (BENCH_model.json in CI):
+//
+//   - sequential: the pre-LoadMatrix path. One ModelThroughput call
+//     per pattern, per-demand map-based load accumulation, no shared
+//     state between evaluations.
+//   - cached: the full VLB path store is compiled once into a
+//     MatrixGrid (per-path edge lists and identity hashes), every
+//     grid point's LoadMatrix is derived from the cache by a keyed
+//     filter pass (all compile time included in the wall clock), and
+//     every pattern evaluation row-gathers from the point's matrix,
+//     still on one goroutine.
+//   - parallel: cached plus the pattern fan-out on the worker pool,
+//     i.e. what core.Step1 actually runs.
+//
+// The model is bit-deterministic, so the tool cross-checks that all
+// three modes produce identical per-point means and fails loudly if
+// they do not. Speedup is sequential wall over mode wall for the
+// whole grid.
+//
+// Usage:
+//
+//	benchmodel                  # full matrix: g=9 full grid, g=17 capped
+//	benchmodel -quick           # CI tier: g=9, reduced grid and suite
+//	benchmodel -o BENCH_model.json -workers 8
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"tugal/internal/core"
+	"tugal/internal/exec"
+	"tugal/internal/flow"
+	"tugal/internal/paths"
+	"tugal/internal/stats"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// benchCase is one (topology, grid, pattern-suite) cell. Type1Cap
+// and Type2 size the suite exactly like core.Options does.
+type benchCase struct {
+	name   string
+	t      *topo.Topology
+	points []core.DataPoint
+	type1  int // 0 = all (g-1)*a shifts
+	type2  int
+}
+
+// modeRun is one row of the output matrix.
+type modeRun struct {
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wallSeconds"`
+	EvalsPerSec float64 `json:"evalsPerSec"`
+	// Speedup is relative to the sequential row of the same case.
+	Speedup float64 `json:"speedup"`
+}
+
+// caseResult groups the rows of one benchmark case.
+type caseResult struct {
+	Name     string    `json:"name"`
+	Topology string    `json:"topology"`
+	Switches int       `json:"switches"`
+	Points   int       `json:"points"`
+	Patterns int       `json:"patterns"`
+	Evals    int       `json:"evals"`
+	Runs     []modeRun `json:"runs"`
+}
+
+// report is the whole BENCH_model.json document.
+type report struct {
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numCPU"`
+	GoVersion  string       `json:"goVersion"`
+	Quick      bool         `json:"quick"`
+	Cases      []caseResult `json:"cases"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchmodel: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// suite builds the Step-1 pattern suite for a case: TYPE_1 shifts
+// (optionally capped) plus TYPE_2 group permutations.
+func suite(c benchCase) []traffic.Deterministic {
+	pats := traffic.Type1Set(c.t)
+	if c.type1 > 0 && c.type1 < len(pats) {
+		pats = pats[:c.type1]
+	}
+	return append(pats, traffic.Type2Set(c.t, c.type2, 1)...)
+}
+
+// gridProbe evaluates every grid point's pattern-suite mean in the
+// given mode and returns the means plus the wall-clock time.
+func gridProbe(c benchCase, pats []traffic.Deterministic, mode string) ([]float64, time.Duration) {
+	opt := flow.DefaultModelOptions()
+	means := make([]float64, len(c.points))
+	start := time.Now()
+
+	// Cached and parallel replicate core.Step1's sharing: one full
+	// VLB store and one pair union serve the whole grid, and every
+	// point's LoadMatrix is derived through a MatrixGrid — a per-path
+	// edge-list/identity-hash cache built once over the store. All of
+	// that compile time stays inside the measured wall clock.
+	var net *flow.Network
+	var base *paths.Store
+	var mgrid *flow.MatrixGrid
+	var pairs [][2]int32
+	if mode != "sequential" {
+		net = flow.NewNetwork(c.t)
+		pairs = flow.PatternPairs(c.t, pats)
+		st, ok := paths.TryCompile(c.t, paths.Full{T: c.t}, paths.DefaultCompileBudget)
+		if !ok {
+			fail("%s: full store over budget", c.name)
+		}
+		base = st
+		if g, ok := flow.TryNewMatrixGrid(net, base, pairs, flow.DefaultMatrixBudget); ok {
+			mgrid = g
+		}
+	}
+
+	for pi, dp := range c.points {
+		pol := dp.Policy(c.t, 1)
+		m := opt
+		if mode != "sequential" {
+			lm, ok := (*flow.LoadMatrix)(nil), false
+			if mgrid != nil {
+				lm, ok = mgrid.Compile(pol)
+			}
+			if !ok {
+				lm, ok = flow.TryCompileLoadMatrixFromStore(net, base, pol, pairs, flow.DefaultMatrixBudget)
+			}
+			if !ok {
+				fail("%s: matrix over budget for %v", c.name, dp)
+			}
+			m.Loads.Matrix = lm
+		}
+		if mode == "parallel" {
+			mean, _, err := flow.AverageModeled(c.t, pol, pats, m)
+			if err != nil {
+				fail("%s %v: %v", c.name, dp, err)
+			}
+			means[pi] = mean
+			continue
+		}
+		vals := make([]float64, len(pats))
+		for i, pat := range pats {
+			res, err := flow.ModelThroughput(c.t, pol, pat, m)
+			if err != nil {
+				fail("%s %v: %v", c.name, dp, err)
+			}
+			vals[i] = res.Alpha
+		}
+		means[pi], _ = stats.MeanErr(vals)
+	}
+	return means, time.Since(start)
+}
+
+// runCase measures one grid probe across the three modes, verifying
+// that cached and parallel reproduce the sequential means exactly.
+func runCase(c benchCase, workers int) caseResult {
+	pats := suite(c)
+	res := caseResult{
+		Name:     c.name,
+		Topology: c.t.Params.String(),
+		Switches: c.t.NumSwitches(),
+		Points:   len(c.points),
+		Patterns: len(pats),
+		Evals:    len(c.points) * len(pats),
+	}
+	var baseline []float64
+	var baseWall time.Duration
+	for _, mode := range []string{"sequential", "cached", "parallel"} {
+		w := 1
+		if mode == "parallel" {
+			w = workers
+		}
+		means, wall := gridProbe(c, pats, mode)
+		row := modeRun{
+			Mode:        mode,
+			Workers:     w,
+			WallSeconds: wall.Seconds(),
+			EvalsPerSec: float64(res.Evals) / wall.Seconds(),
+		}
+		if mode == "sequential" {
+			baseline, baseWall = means, wall
+			row.Speedup = 1
+		} else {
+			// The determinism contract, enforced: matrix-backed and
+			// parallel probes must reproduce the sequential means bit
+			// for bit.
+			for i := range means {
+				if math.Float64bits(means[i]) != math.Float64bits(baseline[i]) {
+					fail("%s: %s mean diverged at point %d: %v vs %v",
+						c.name, mode, i, means[i], baseline[i])
+				}
+			}
+			row.Speedup = baseWall.Seconds() / wall.Seconds()
+		}
+		res.Runs = append(res.Runs, row)
+		fmt.Printf("%-8s %-10s workers=%-2d  %8.2fs  %8.1f evals/s  %.2fx\n",
+			c.name, mode, w, row.WallSeconds, row.EvalsPerSec, row.Speedup)
+	}
+	return res
+}
+
+func main() {
+	out := flag.String("o", "BENCH_model.json", "write the JSON report to this file")
+	quick := flag.Bool("quick", false, "CI tier: g=9, reduced grid and suite")
+	workers := flag.Int("workers", 0, "worker pool size for the parallel mode (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	pool := exec.NewPool(*workers)
+	exec.SetDefault(pool)
+	w := runtime.GOMAXPROCS(0)
+	if *workers > 0 {
+		w = *workers
+	}
+
+	grid := core.ProbeGrid()
+	var cases []benchCase
+	if *quick {
+		// Enough points and patterns that the one-time store compile
+		// amortizes, while staying within a CI smoke budget.
+		cases = []benchCase{
+			{name: "g9", t: topo.MustNew(4, 8, 4, 9), points: grid[:10], type1: 16, type2: 4},
+		}
+	} else {
+		cases = []benchCase{
+			// The acceptance case: the full Table-1 grid with the full
+			// Step-1 suite ((g-1)*a shifts + 20 permutations) on the
+			// paper's 1152-node machine.
+			{name: "g9", t: topo.MustNew(4, 8, 4, 9), points: grid, type1: 0, type2: 20},
+			{name: "g17", t: topo.MustNew(4, 8, 4, 17), points: grid[:8], type1: 16, type2: 8},
+		}
+	}
+
+	rep := report{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Quick:      *quick,
+	}
+	for _, c := range cases {
+		rep.Cases = append(rep.Cases, runCase(c, w))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Println("wrote", *out)
+}

@@ -90,25 +90,78 @@ func analyzePairs(t *topo.Topology, opt LBOptions) [][2]int32 {
 // removal set. Both branches make identical removal decisions
 // because the store preserves per-pair enumeration order.
 func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (paths.Policy, BalanceReport) {
+	return RebalanceOn(flow.NewNetwork(t), pol, opt)
+}
+
+// RebalanceOn is Rebalance against a caller-built edge space, so
+// pipelines that already hold one (ComputeTVLB builds a single
+// Network for Step 1's LoadMatrix and every candidate adjustment)
+// do not rebuild it per call.
+func RebalanceOn(net *flow.Network, pol paths.Policy, opt LBOptions) (paths.Policy, BalanceReport) {
 	if !opt.Enabled {
 		return paths.NewExplicit(pol), BalanceReport{}
 	}
-	if st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget); ok {
-		return rebalanceStore(t, st, opt)
+	if st, ok := paths.TryCompile(net.T, pol, paths.DefaultCompileBudget); ok {
+		return rebalanceStore(net, st, opt)
 	}
-	return rebalanceInterpreted(t, pol, opt)
+	return rebalanceInterpreted(net, pol, opt)
 }
 
-// rebalanceInterpreted is the map-based fallback for policies too
-// large to compile.
-func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
+// useScratch is the dense per-pair usage accumulator shared by both
+// rebalance branches: counts indexed by edge with a first-touch
+// list, reset in O(1) by generation bump. Unlike the former
+// map[Edge]float64, the mean over touched edges sums in a
+// deterministic order (first touch = path enumeration order), so the
+// interpreted and store branches agree bit-for-bit.
+type useScratch struct {
+	w       []float64
+	mark    []int32
+	gen     int32
+	touched []flow.Edge
+}
+
+func newUseScratch(numEdges int) *useScratch {
+	return &useScratch{w: make([]float64, numEdges), mark: make([]int32, numEdges)}
+}
+
+func (u *useScratch) reset() {
+	u.gen++
+	u.touched = u.touched[:0]
+}
+
+func (u *useScratch) inc(e flow.Edge) {
+	if u.mark[e] != u.gen {
+		u.mark[e] = u.gen
+		u.w[e] = 0
+		u.touched = append(u.touched, e)
+	}
+	u.w[e]++
+}
+
+// mean returns the average count over touched edges and whether any
+// edge is "hot" (count above tol times the mean, and shared).
+func (u *useScratch) mean() float64 {
+	if len(u.touched) == 0 {
+		return 0
+	}
+	m := 0.0
+	for _, e := range u.touched {
+		m += u.w[e]
+	}
+	return m / float64(len(u.touched))
+}
+
+// rebalanceInterpreted is the enumeration-based fallback for
+// policies too large to compile.
+func rebalanceInterpreted(net *flow.Network, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
+	t := net.T
 	out := paths.NewExplicit(pol)
 	rep := BalanceReport{}
-	net := flow.NewNetwork(t)
 	pairs := analyzePairs(t, opt)
 	rep.PairsAnalyzed = len(pairs)
 
 	globalUse := make([]float64, net.NumEdges)
+	use := newUseScratch(net.NumEdges)
 	var scratch []flow.Edge
 
 	for _, pr := range pairs {
@@ -119,7 +172,7 @@ func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*p
 		}
 		rep.PathsConsidered += len(ps)
 		// Per-pair usage counts over switch-to-switch edges.
-		use := make(map[flow.Edge]float64, 4*len(ps))
+		use.reset()
 		edgesOf := make([][]flow.Edge, len(ps))
 		for i, p := range ps {
 			scratch = scratch[:0]
@@ -128,22 +181,18 @@ func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*p
 			}
 			edgesOf[i] = append([]flow.Edge(nil), scratch...)
 			for _, e := range scratch {
-				use[e]++
+				use.inc(e)
 			}
 		}
 		w := 1 / float64(len(ps))
-		mean := 0.0
-		for _, c := range use {
-			mean += c
-		}
-		mean /= float64(len(use))
+		mean := use.mean()
 		// Local adjustment: remove longest paths crossing hot links.
 		budget := int(opt.MaxRemoveFrac * float64(len(ps)))
 		removedHere := 0
-		hot := func(e flow.Edge) bool { return use[e] > opt.Tol*mean && use[e] > 1 }
+		hot := func(e flow.Edge) bool { return use.w[e] > opt.Tol*mean && use.w[e] > 1 }
 		anyHot := false
-		for _, c := range use {
-			if c > opt.Tol*mean && c > 1 {
+		for _, e := range use.touched {
+			if hot(e) {
 				anyHot = true
 				break
 			}
@@ -176,7 +225,7 @@ func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*p
 				removedHere++
 				rep.LocalRemoved++
 				for _, e := range edgesOf[i] {
-					use[e]--
+					use.w[e]--
 				}
 			}
 		}
@@ -255,14 +304,15 @@ func rebalanceInterpreted(t *topo.Topology, pol paths.Policy, opt LBOptions) (*p
 // algorithm, but path sets are contiguous PathID ranges, the removal
 // set is a []bool indexed by PathID, and the result is a compacted
 // Store. Decision order mirrors rebalanceInterpreted exactly.
-func rebalanceStore(t *topo.Topology, st *paths.Store, opt LBOptions) (*paths.Store, BalanceReport) {
+func rebalanceStore(net *flow.Network, st *paths.Store, opt LBOptions) (*paths.Store, BalanceReport) {
+	t := net.T
 	rep := BalanceReport{}
-	net := flow.NewNetwork(t)
 	pairs := analyzePairs(t, opt)
 	rep.PairsAnalyzed = len(pairs)
 
 	removed := make([]bool, st.NumPaths())
 	globalUse := make([]float64, net.NumEdges)
+	use := newUseScratch(net.NumEdges)
 	var buf paths.Path
 
 	// markRemoved mirrors the interpreted branch's key-based removal:
@@ -298,27 +348,23 @@ func rebalanceStore(t *topo.Topology, st *paths.Store, opt LBOptions) (*paths.St
 		}
 		rep.PathsConsidered += count
 		// Per-pair usage counts over switch-to-switch edges.
-		use := make(map[flow.Edge]float64, 4*count)
+		use.reset()
 		edgesOf := make([][]flow.Edge, count)
 		for i := 0; i < count; i++ {
 			edgesOf[i] = edgesAt(s, first+paths.PathID(i), nil)
 			for _, e := range edgesOf[i] {
-				use[e]++
+				use.inc(e)
 			}
 		}
 		w := 1 / float64(count)
-		mean := 0.0
-		for _, c := range use {
-			mean += c
-		}
-		mean /= float64(len(use))
+		mean := use.mean()
 		// Local adjustment: remove longest paths crossing hot links.
 		budget := int(opt.MaxRemoveFrac * float64(count))
 		removedHere := 0
-		hot := func(e flow.Edge) bool { return use[e] > opt.Tol*mean && use[e] > 1 }
+		hot := func(e flow.Edge) bool { return use.w[e] > opt.Tol*mean && use.w[e] > 1 }
 		anyHot := false
-		for _, c := range use {
-			if c > opt.Tol*mean && c > 1 {
+		for _, e := range use.touched {
+			if hot(e) {
 				anyHot = true
 				break
 			}
@@ -350,7 +396,7 @@ func rebalanceStore(t *topo.Topology, st *paths.Store, opt LBOptions) (*paths.St
 				removedHere++
 				rep.LocalRemoved++
 				for _, e := range edgesOf[i] {
-					use[e]--
+					use.w[e]--
 				}
 			}
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"testing"
 
+	"tugal/internal/exec"
 	"tugal/internal/flow"
 	"tugal/internal/netsim"
 	"tugal/internal/paths"
@@ -88,6 +90,39 @@ func TestStep1SmallTopology(t *testing.T) {
 	}
 }
 
+// TestStep1WorkerDeterminism: the full Step-1 probe — matrix
+// compilation included — must yield a bit-identical curve and the
+// same best point at any worker count.
+func TestStep1WorkerDeterminism(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	opt := tinyOptions()
+	type outcome struct {
+		curve []ProbePoint
+		best  DataPoint
+	}
+	var runs [2]outcome
+	for i, workers := range []int{1, 16} {
+		old := exec.SetDefault(exec.NewPool(workers))
+		curve, best, err := Step1(tp, opt)
+		exec.SetDefault(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = outcome{curve, best}
+	}
+	if runs[0].best != runs[1].best {
+		t.Fatalf("best point differs: %v vs %v", runs[0].best, runs[1].best)
+	}
+	for k := range runs[0].curve {
+		a, b := runs[0].curve[k], runs[1].curve[k]
+		if a.Point != b.Point ||
+			math.Float64bits(a.Mean) != math.Float64bits(b.Mean) ||
+			math.Float64bits(a.StdErr) != math.Float64bits(b.StdErr) {
+			t.Fatalf("point %d differs: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
 func TestVicinitySelection(t *testing.T) {
 	curve := []ProbePoint{
 		{Point: DataPoint{MaxHops: 3}, Mean: 0.30},
@@ -157,8 +192,9 @@ func TestRebalanceStoreMatchesInterpreted(t *testing.T) {
 	base := paths.Strategic{T: tp, FirstLeg: 2}
 	opt := DefaultLBOptions()
 	opt.PairCap = 300
-	st, srep := rebalanceStore(tp, base.Compile(tp), opt)
-	ex, irep := rebalanceInterpreted(tp, base, opt)
+	net := flow.NewNetwork(tp)
+	st, srep := rebalanceStore(net, base.Compile(tp), opt)
+	ex, irep := rebalanceInterpreted(net, base, opt)
 	if srep != irep {
 		t.Fatalf("reports differ: store %+v, interpreted %+v", srep, irep)
 	}

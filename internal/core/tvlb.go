@@ -158,6 +158,39 @@ func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
+	// One edge space and one demand-pair union serve the whole grid;
+	// each (point, repeat) compiles its policy's LoadMatrix over
+	// those pairs once (budget-gated) and shares it read-only across
+	// all pattern evaluations, which fan out on the worker pool
+	// inside AverageModeled. Compile cost lands on the pool observer
+	// like path-store compiles do.
+	net := flow.NewNetwork(t)
+	var pairs [][2]int32
+	if opt.Model.Loads.Enumerate && opt.Model.Loads.Matrix == nil {
+		pairs = flow.PatternPairs(t, pats)
+	}
+	pool := exec.Default()
+	// Every grid policy filters the full VLB set, so one compiled
+	// full store lets each point's matrix be derived by a stored-path
+	// walk instead of 31 separate enumerations of every pair — the
+	// dominant cost of the probe on enumerable topologies.
+	var base *paths.Store
+	var mgrid *flow.MatrixGrid
+	if pairs != nil {
+		if st, ok := paths.TryCompile(t, paths.Full{T: t}, paths.DefaultCompileBudget); ok {
+			base = st
+			pool.Report(exec.Stat{Label: "compile/" + st.Name(),
+				Wall: st.BuildTime(), Bytes: st.Bytes()})
+			// Caching each stored path's edge list and identity hash
+			// once makes every grid point a filtered accumulation over
+			// the cache — the walk itself is also paid only once.
+			if g, ok := flow.TryNewMatrixGrid(net, base, pairs, flow.DefaultMatrixBudget); ok {
+				mgrid = g
+				pool.Report(exec.Stat{Label: "loadgrid/" + st.Name(),
+					Wall: g.BuildTime(), Bytes: g.Bytes()})
+			}
+		}
+	}
 	curve := make([]ProbePoint, 0, len(grid))
 	best := grid[len(grid)-1]
 	bestMean := -1.0
@@ -165,11 +198,32 @@ func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
 		var mean, se float64
 		for rep := 0; rep < repeats; rep++ {
 			pol := dp.Policy(t, rng.Hash64(opt.Seed, uint64(rep)))
-			m, s, err := flow.AverageModeled(t, pol, pats, opt.Model)
+			m := opt.Model
+			if pairs != nil {
+				var lm *flow.LoadMatrix
+				var ok bool
+				_, isStore := pol.(*paths.Store)
+				if mgrid != nil && !isStore {
+					lm, ok = mgrid.Compile(pol)
+				}
+				if !ok {
+					if base != nil && !isStore {
+						lm, ok = flow.TryCompileLoadMatrixFromStore(net, base, pol, pairs, flow.DefaultMatrixBudget)
+					} else {
+						lm, ok = flow.TryCompileLoadMatrix(net, pol, pairs, flow.DefaultMatrixBudget)
+					}
+				}
+				if ok {
+					m.Loads.Matrix = lm
+					pool.Report(exec.Stat{Label: "loadmatrix/" + lm.Name(),
+						Wall: lm.BuildTime(), Bytes: lm.Bytes()})
+				}
+			}
+			mn, s, err := flow.AverageModeled(t, pol, pats, m)
 			if err != nil {
 				return nil, DataPoint{}, fmt.Errorf("core: step 1 at %v: %w", dp, err)
 			}
-			mean += m / float64(repeats)
+			mean += mn / float64(repeats)
 			se += s / float64(repeats)
 		}
 		curve = append(curve, ProbePoint{Point: dp, Mean: mean, StdErr: se})
@@ -301,9 +355,11 @@ func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
 	// reported order (and the winner of score ties below) is stable.
 	res.Candidates = make([]Candidate, len(cands))
 	pool := exec.Default()
+	// One immutable edge space serves every candidate's adjustment.
+	net := flow.NewNetwork(t)
 	pool.Run("tvlb/candidates", len(cands), func(i int) int64 {
 		c := cands[i]
-		adj, rep := Rebalance(t, c.pol, opt.LB)
+		adj, rep := RebalanceOn(net, c.pol, opt.LB)
 		adj = paths.SetLabel(adj, "T-VLB("+c.name+")")
 		score := simulateScore(t, adj, opt)
 		res.Candidates[i] = Candidate{

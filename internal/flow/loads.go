@@ -46,6 +46,12 @@ type LoadOptions struct {
 	Samples int
 	// Seed for Monte-Carlo mode.
 	Seed uint64
+	// Matrix, when set in Enumerate mode, serves each demand whose
+	// pair it compiled as a row-gather from the shared arena instead
+	// of re-enumerating the candidate set; demands outside the
+	// matrix fall back to the per-demand path. Rows gathered this
+	// way alias the matrix arena and must not be mutated.
+	Matrix *LoadMatrix
 }
 
 // DemandLoads holds, for every demand of a pattern, the expected
@@ -84,6 +90,16 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 	var pbuf paths.Path
 	for i, d := range demands {
 		s, t := int(d.Src), int(d.Dst)
+
+		// Compiled fast path: the matrix already holds this pair's
+		// rows — gather them (aliasing the shared read-only arena)
+		// instead of re-enumerating the candidate sets.
+		if opt.Enumerate && opt.Matrix != nil && opt.Matrix.Has(s, t) {
+			lm := opt.Matrix
+			dl.Min[i], dl.MinHops[i] = lm.MinRow(s, t)
+			dl.Vlb[i], dl.VlbHops[i], dl.VlbOK[i] = lm.VlbRow(s, t)
+			continue
+		}
 
 		// MIN candidates are always enumerated exactly: there are at
 		// most K of them.

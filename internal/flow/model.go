@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"tugal/internal/exec"
 	"tugal/internal/paths"
 	"tugal/internal/stats"
 	"tugal/internal/topo"
@@ -29,6 +30,10 @@ func DefaultModelOptions() ModelOptions {
 // saturation throughput (packets/cycle/node).
 func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, opt ModelOptions) (Result, error) {
 	net := NewNetwork(t)
+	if opt.Loads.Matrix != nil {
+		// Rows reference the matrix's edge space; share its network.
+		net = opt.Loads.Matrix.Net
+	}
 	demands := traffic.SwitchDemands(t, pat)
 	if len(demands) == 0 {
 		return Result{Alpha: float64(t.P), SplitMin: 1}, nil
@@ -43,14 +48,34 @@ func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Determinist
 // AverageModeled returns the mean and standard error of the modeled
 // throughput over a set of patterns — the per-data-point quantity of
 // the paper's Figures 4 and 5.
+//
+// In enumerate mode with no matrix supplied, a LoadMatrix covering
+// the suite's demand pairs is compiled once (budget-gated) and
+// shared read-only by every pattern evaluation. The patterns then
+// fan out on the shared worker pool — token-aware like every other
+// fan-out in the repository — with per-pattern results written by
+// index, so the mean and standard error are bit-identical to the
+// sequential loop at any worker count.
 func AverageModeled(t *topo.Topology, pol paths.Policy, pats []traffic.Deterministic, opt ModelOptions) (mean, stderr float64, err error) {
-	vals := make([]float64, 0, len(pats))
-	for _, pat := range pats {
-		res, e := ModelThroughput(t, pol, pat, opt)
+	pool := exec.Default()
+	if opt.Loads.Enumerate && opt.Loads.Matrix == nil {
+		if lm, ok := TryCompileLoadMatrix(NewNetwork(t), pol, PatternPairs(t, pats), DefaultMatrixBudget); ok {
+			opt.Loads.Matrix = lm
+			pool.Report(exec.Stat{Label: "loadmatrix/" + lm.Name(),
+				Wall: lm.BuildTime(), Bytes: lm.Bytes()})
+		}
+	}
+	vals := make([]float64, len(pats))
+	errs := make([]error, len(pats))
+	pool.Run("model/"+pol.Name(), len(pats), func(i int) int64 {
+		res, e := ModelThroughput(t, pol, pats[i], opt)
+		vals[i], errs[i] = res.Alpha, e
+		return 0
+	})
+	for _, e := range errs {
 		if e != nil {
 			return 0, 0, e
 		}
-		vals = append(vals, res.Alpha)
 	}
 	m, se := stats.MeanErr(vals)
 	return m, se, nil

@@ -2,6 +2,7 @@ package flow
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -19,81 +20,144 @@ type Result struct {
 	SplitMin float64
 }
 
+// Aggregate is the dense folded view of a DemandLoads: per-edge
+// fixed/min/vlb load arrays plus a packed list of the active edges
+// (those any demand can load), which is the solver's scratch — the
+// golden-section inner loop scans only the packed entries instead of
+// three full dense arrays per evaluation.
+type Aggregate struct {
+	Fixed, Mu, Nu []float64
+	// Packed active-edge view, parallel arrays sorted by edge id.
+	edges []Edge
+	f     []float64
+	m     []float64
+	v     []float64
+	cap   []float64
+}
+
+// NewAggregate folds per-demand load vectors, weighted by demand
+// rate, into dense fixed/min/vlb load arrays and packs the active
+// edges. Demands without VLB paths contribute their MIN loads to
+// fixed (they cannot adapt).
+func NewAggregate(dl *DemandLoads) *Aggregate {
+	a := &Aggregate{}
+	a.From(dl)
+	return a
+}
+
+// From refolds dl into the aggregate, reusing its arrays.
+func (a *Aggregate) From(dl *DemandLoads) {
+	n := dl.Net.NumEdges
+	a.Fixed = resetDense(a.Fixed, n)
+	a.Mu = resetDense(a.Mu, n)
+	a.Nu = resetDense(a.Nu, n)
+	for i, d := range dl.Demands {
+		if !dl.VlbOK[i] {
+			for _, ew := range dl.Min[i] {
+				a.Fixed[ew.E] += d.Rate * ew.W
+			}
+			continue
+		}
+		for _, ew := range dl.Min[i] {
+			a.Mu[ew.E] += d.Rate * ew.W
+		}
+		for _, ew := range dl.Vlb[i] {
+			a.Nu[ew.E] += d.Rate * ew.W
+		}
+	}
+	// Pack the edges any load can touch; the per-evaluation zero
+	// check stays inside alphaAt (an edge can still carry zero load
+	// at the probed split, e.g. mu=0 at x=1).
+	a.edges = a.edges[:0]
+	a.f, a.m, a.v, a.cap = a.f[:0], a.m[:0], a.v[:0], a.cap[:0]
+	for e := 0; e < n; e++ {
+		if a.Fixed[e] != 0 || a.Mu[e] != 0 || a.Nu[e] != 0 {
+			a.edges = append(a.edges, Edge(e))
+			a.f = append(a.f, a.Fixed[e])
+			a.m = append(a.m, a.Mu[e])
+			a.v = append(a.v, a.Nu[e])
+			a.cap = append(a.cap, dl.Net.Cap[e])
+		}
+	}
+}
+
+func resetDense(xs []float64, n int) []float64 {
+	if cap(xs) < n {
+		return make([]float64, n)
+	}
+	xs = xs[:n]
+	for i := range xs {
+		xs[i] = 0
+	}
+	return xs
+}
+
+// alphaAt returns the saturation alpha at MIN split x, scanning only
+// the packed active edges.
+func (a *Aggregate) alphaAt(x float64) float64 {
+	best := math.Inf(1)
+	for i, f := range a.f {
+		load := f + x*a.m[i] + (1-x)*a.v[i]
+		if load <= 1e-12 {
+			continue
+		}
+		if al := a.cap[i] / load; al < best {
+			best = al
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
 // SolveSymmetric maximizes alpha under a single MIN/VLB split shared
 // by all demands — exact for group-transitive patterns such as the
 // TYPE_1 shifts, and a fast lower bound in general. The inner
 // problem is quasiconcave in the split x, solved by golden-section
 // over a coarse grid bracket.
 func SolveSymmetric(dl *DemandLoads) Result {
-	fixed, mu, nu := aggregate(dl)
-	alphaAt := func(x float64) float64 {
-		best := math.Inf(1)
-		for e, f := range fixed {
-			load := f + x*mu[e] + (1-x)*nu[e]
-			if load <= 1e-12 {
-				continue
-			}
-			if a := dl.Net.Cap[e] / load; a < best {
-				best = a
-			}
-		}
-		if math.IsInf(best, 1) {
-			return 0
-		}
-		return best
-	}
+	return NewAggregate(dl).Solve()
+}
+
+// Solve runs the symmetric solver on the folded loads. The
+// golden-section loop carries the surviving interior evaluation, so
+// each iteration costs one alphaAt call instead of two.
+func (a *Aggregate) Solve() Result {
 	// Coarse grid bracket, then golden-section refinement.
-	bestX, bestA := 0.0, alphaAt(0)
+	bestX, bestA := 0.0, a.alphaAt(0)
 	const grid = 64
 	for i := 1; i <= grid; i++ {
 		x := float64(i) / grid
-		if a := alphaAt(x); a > bestA {
-			bestA, bestX = a, x
+		if al := a.alphaAt(x); al > bestA {
+			bestA, bestX = al, x
 		}
 	}
 	lo := math.Max(0, bestX-1.0/grid)
 	hi := math.Min(1, bestX+1.0/grid)
 	const phi = 0.6180339887498949
+	m1 := hi - phi*(hi-lo)
+	m2 := lo + phi*(hi-lo)
+	f1, f2 := a.alphaAt(m1), a.alphaAt(m2)
 	for it := 0; it < 48; it++ {
-		m1 := hi - phi*(hi-lo)
-		m2 := lo + phi*(hi-lo)
-		if alphaAt(m1) < alphaAt(m2) {
+		if f1 < f2 {
 			lo = m1
+			m1, f1 = m2, f2
+			m2 = lo + phi*(hi-lo)
+			f2 = a.alphaAt(m2)
 		} else {
 			hi = m2
+			m2, f2 = m1, f1
+			m1 = hi - phi*(hi-lo)
+			f1 = a.alphaAt(m1)
 		}
 	}
 	x := (lo + hi) / 2
-	a := alphaAt(x)
-	if bestA > a {
-		a, x = bestA, bestX
+	al := a.alphaAt(x)
+	if bestA > al {
+		al, x = bestA, bestX
 	}
-	return Result{Alpha: a, SplitMin: x}
-}
-
-// aggregate folds per-demand load vectors, weighted by demand rate,
-// into dense fixed/min/vlb load arrays. Demands without VLB paths
-// contribute their MIN loads to fixed (they cannot adapt).
-func aggregate(dl *DemandLoads) (fixed, mu, nu []float64) {
-	n := dl.Net.NumEdges
-	fixed = make([]float64, n)
-	mu = make([]float64, n)
-	nu = make([]float64, n)
-	for i, d := range dl.Demands {
-		if !dl.VlbOK[i] {
-			for _, ew := range dl.Min[i] {
-				fixed[ew.E] += d.Rate * ew.W
-			}
-			continue
-		}
-		for _, ew := range dl.Min[i] {
-			mu[ew.E] += d.Rate * ew.W
-		}
-		for _, ew := range dl.Vlb[i] {
-			nu[ew.E] += d.Rate * ew.W
-		}
-	}
-	return fixed, mu, nu
+	return Result{Alpha: al, SplitMin: x}
 }
 
 // SolveLP maximizes alpha with an independent MIN/VLB split per
@@ -104,6 +168,21 @@ func SolveLP(dl *DemandLoads) (Result, error) {
 	nd := len(dl.Demands)
 	// Variables: m_0..m_{nd-1}, v_0..v_{nd-1}, alpha.
 	alphaVar := 2 * nd
+
+	// Transpose of the load rows: per-edge constraint columns, built
+	// in one pass over the sparse vectors. The former per-round
+	// rescan was O(active rows x demands x row length); a column
+	// gather is O(column length).
+	cols := make([][]lp.Term, dl.Net.NumEdges)
+	for i := range dl.Demands {
+		for _, ew := range dl.Min[i] {
+			cols[ew.E] = append(cols[ew.E], lp.Term{Var: i, Coeff: ew.W})
+		}
+		for _, ew := range dl.Vlb[i] {
+			cols[ew.E] = append(cols[ew.E], lp.Term{Var: nd + i, Coeff: ew.W})
+		}
+	}
+
 	prob := func(active []Edge) *lp.Problem {
 		p := lp.NewProblem(2*nd + 1)
 		p.SetObjective(alphaVar, 1)
@@ -125,27 +204,17 @@ func SolveLP(dl *DemandLoads) (Result, error) {
 		// Keep alpha bounded even before capacity rows bind.
 		p.AddConstraint([]lp.Term{{Var: alphaVar, Coeff: 1}}, lp.LE, 4)
 		for _, e := range active {
-			var terms []lp.Term
-			for i := range dl.Demands {
-				for _, ew := range dl.Min[i] {
-					if ew.E == e {
-						terms = append(terms, lp.Term{Var: i, Coeff: ew.W})
-					}
-				}
-				for _, ew := range dl.Vlb[i] {
-					if ew.E == e {
-						terms = append(terms, lp.Term{Var: nd + i, Coeff: ew.W})
-					}
-				}
-			}
-			p.AddConstraint(terms, lp.LE, dl.Net.Cap[e])
+			p.AddConstraint(cols[e], lp.LE, dl.Net.Cap[e])
 		}
 		return p
 	}
 
-	// Start from the edges most loaded under the symmetric optimum.
-	sym := SolveSymmetric(dl)
-	active := mostLoaded(dl, sym.SplitMin, 64)
+	// Start from the edges most loaded under the symmetric optimum;
+	// the aggregate is folded once and shared between the symmetric
+	// warm-start and the most-loaded scan.
+	agg := NewAggregate(dl)
+	sym := agg.Solve()
+	active := mostLoaded(dl.Net, agg, sym.SplitMin, 64)
 	inActive := make(map[Edge]bool, len(active))
 	for _, e := range active {
 		inActive[e] = true
@@ -204,18 +273,17 @@ func SolveLP(dl *DemandLoads) (Result, error) {
 }
 
 // mostLoaded returns the n edges with the highest load/capacity under
-// the symmetric split x.
-func mostLoaded(dl *DemandLoads, x float64, n int) []Edge {
-	fixed, mu, nu := aggregate(dl)
+// the symmetric split x, scanning the aggregate's packed edges.
+func mostLoaded(net *Network, agg *Aggregate, x float64, n int) []Edge {
 	type le struct {
 		e Edge
 		u float64
 	}
-	all := make([]le, 0, dl.Net.NumEdges)
-	for e := 0; e < dl.Net.NumEdges; e++ {
-		load := fixed[e] + x*mu[e] + (1-x)*nu[e]
+	all := make([]le, 0, len(agg.edges))
+	for i, e := range agg.edges {
+		load := agg.f[i] + x*agg.m[i] + (1-x)*agg.v[i]
 		if load > 0 {
-			all = append(all, le{Edge(e), load / dl.Net.Cap[e]})
+			all = append(all, le{e, load / agg.cap[i]})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
@@ -229,20 +297,20 @@ func mostLoaded(dl *DemandLoads, x float64, n int) []Edge {
 	return out
 }
 
-// DebugBinding prints the most utilized edges at a solution's
-// symmetric split; a development aid kept behind no build tag because
-// it is harmless and occasionally useful downstream.
-func DebugBinding(dl *DemandLoads, res Result, n int) {
-	fixed, mu, nu := aggregate(dl)
+// DebugBinding writes the most utilized edges at a solution's
+// symmetric split to w; a development aid kept behind no build tag
+// because it is harmless and occasionally useful downstream.
+func DebugBinding(w io.Writer, dl *DemandLoads, res Result, n int) {
+	agg := NewAggregate(dl)
 	type le struct {
 		e Edge
 		u float64
 	}
 	var all []le
-	for e := 0; e < dl.Net.NumEdges; e++ {
-		load := fixed[e] + res.SplitMin*mu[e] + (1-res.SplitMin)*nu[e]
+	for i, e := range agg.edges {
+		load := agg.f[i] + res.SplitMin*agg.m[i] + (1-res.SplitMin)*agg.v[i]
 		if load > 0 {
-			all = append(all, le{Edge(e), res.Alpha * load / dl.Net.Cap[e]})
+			all = append(all, le{e, res.Alpha * load / agg.cap[i]})
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].u > all[j].u })
@@ -263,6 +331,6 @@ func DebugBinding(dl *DemandLoads, res Result, n int) {
 			}
 			desc = fmt.Sprintf("sw=%d(g%d) port=%d -> %d", sw, t.GroupOf(sw), port, t.PeerOfPort(sw, port))
 		}
-		fmt.Printf("   util=%.4f %s %s\n", a.u, kind, desc)
+		fmt.Fprintf(w, "   util=%.4f %s %s\n", a.u, kind, desc)
 	}
 }

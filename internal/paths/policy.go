@@ -36,6 +36,28 @@ type Policy interface {
 	Compile(t *topo.Topology) *Store
 }
 
+// StoredFilter is an optional Policy refinement: deciding membership
+// of a path held in a superset Store (typically the compiled full VLB
+// set) directly from the store's arena, without materializing the
+// path. AllowsStored(base, s, d, id) must equal
+// Contains(s, d, base.Materialize(s, id)). Length-based policies
+// answer most paths from the O(1) stored hop count alone, which is
+// what makes deriving a whole grid of restricted path sets from one
+// compiled superset cheap.
+type StoredFilter interface {
+	AllowsStored(base *Store, s, d int, id PathID) bool
+}
+
+// KeyedFilter is one refinement beyond StoredFilter: membership
+// decided from a path's hop count and identity hash alone, with no
+// access to its structure. AllowsKeyed(p.Hops(), p.Key()) must equal
+// Contains(s, d, p) for every valid VLB path of every pair. A grid
+// analysis that hashes a superset store once can then derive every
+// such policy's path set without touching the arena again.
+type KeyedFilter interface {
+	AllowsKeyed(hops int, key uint64) bool
+}
+
 // sampleAttempts bounds rejection sampling in restricted policies.
 // If no allowed path is found within the budget, the shortest path
 // seen is used; with the configurations Algorithm 1 actually emits,
@@ -70,6 +92,12 @@ func (f Full) Contains(_, _ int, _ Path) bool { return true }
 
 // Compile implements Policy.
 func (f Full) Compile(t *topo.Topology) *Store { return compileStore(t, f, MaxVLBHops) }
+
+// AllowsStored implements StoredFilter.
+func (f Full) AllowsStored(*Store, int, int, PathID) bool { return true }
+
+// AllowsKeyed implements KeyedFilter.
+func (f Full) AllowsKeyed(int, uint64) bool { return true }
 
 // LengthCapped is the Table 1 family of data points: all VLB paths of
 // at most MaxHops hops, plus a pseudo-random fraction Frac of the
@@ -152,6 +180,30 @@ func (l LengthCapped) Enumerate(s, d int) []Path {
 
 // Contains implements Policy.
 func (l LengthCapped) Contains(_, _ int, p Path) bool { return l.allows(p) }
+
+// AllowsStored implements StoredFilter: paths at or under the cap
+// are admitted (and longer-than-boundary ones rejected) from the
+// stored hop count alone; only boundary-length paths pay the
+// identity-hash walk.
+func (l LengthCapped) AllowsStored(base *Store, s, _ int, id PathID) bool {
+	h := base.Hops(id)
+	if h == l.MaxHops+1 && l.Frac > 0 {
+		return l.AllowsKeyed(h, base.KeyOf(s, id))
+	}
+	return h <= l.MaxHops
+}
+
+// AllowsKeyed implements KeyedFilter.
+func (l LengthCapped) AllowsKeyed(hops int, key uint64) bool {
+	switch {
+	case hops <= l.MaxHops:
+		return true
+	case hops == l.MaxHops+1 && l.Frac > 0:
+		return rng.Float01(rng.Mix(rng.Mix(rng.HashSeed, l.Seed), key)) < l.Frac
+	default:
+		return false
+	}
+}
 
 // Compile implements Policy. Enumeration is pruned to MaxHops(+1)
 // hops, so compiling a tight cap is much cheaper than the full set.

@@ -212,6 +212,22 @@ func (st *Store) MaterializeInto(src int, id PathID, dst *Path) {
 	}
 }
 
+// KeyOf returns the stored path's identity hash — the value
+// Materialize(src, id).Key() would compute — by walking the port
+// sequence without building the path.
+func (st *Store) KeyOf(src int, id PathID) uint64 {
+	h := rng.Mix(rng.HashSeed, uint64(int32(src)))
+	base := int(id) * MaxVLBHops
+	cur := src
+	for i := 0; i < int(st.hops[id]); i++ {
+		pt := st.ports[base+i]
+		h = rng.Mix(h, uint64(uint8(pt)))
+		cur = st.T.PeerOfPort(cur, int(pt))
+		h = rng.Mix(h, uint64(int32(cur)))
+	}
+	return h
+}
+
 // SampleVLBInto implements Policy: one RNG draw, then materialize.
 func (st *Store) SampleVLBInto(r *rng.Source, s, d int, dst *Path) bool {
 	id, ok := st.SampleID(r, s, d)

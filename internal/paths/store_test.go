@@ -214,3 +214,49 @@ func TestTryCompileBudget(t *testing.T) {
 		t.Error("TryCompile did not pass an existing store through")
 	}
 }
+
+// TestStoredFilterMatchesContains pins the no-materialization
+// membership path: KeyOf must equal the materialized path's Key, and
+// AllowsStored must agree with Contains for every stored full-VLB
+// path under every StoredFilter policy.
+func TestStoredFilterMatchesContains(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	base := Full{T: tp}.Compile(tp)
+	var filters []Policy
+	for _, pol := range storePolicies(tp) {
+		if _, ok := pol.(StoredFilter); ok {
+			filters = append(filters, pol)
+		}
+	}
+	if len(filters) < 3 {
+		t.Fatalf("only %d StoredFilter policies in the suite", len(filters))
+	}
+	n := tp.NumSwitches()
+	var p Path
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			first, count := base.PairRange(s, d)
+			for k := 0; k < count; k++ {
+				id := first + PathID(k)
+				base.MaterializeInto(s, id, &p)
+				if got := base.KeyOf(s, id); got != p.Key() {
+					t.Fatalf("pair (%d,%d) path %d: KeyOf %x, materialized Key %x",
+						s, d, k, got, p.Key())
+				}
+				for _, pol := range filters {
+					sf := pol.(StoredFilter)
+					if sf.AllowsStored(base, s, d, id) != pol.Contains(s, d, p) {
+						t.Fatalf("%s pair (%d,%d) path %d: AllowsStored disagrees with Contains",
+							pol.Name(), s, d, k)
+					}
+					if kf, ok := pol.(KeyedFilter); ok {
+						if kf.AllowsKeyed(p.Hops(), p.Key()) != pol.Contains(s, d, p) {
+							t.Fatalf("%s pair (%d,%d) path %d: AllowsKeyed disagrees with Contains",
+								pol.Name(), s, d, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}
