@@ -75,6 +75,19 @@ type caseResult struct {
 	Runs     []modeRun `json:"runs"`
 }
 
+// recompileRun is one row of the degraded-recompilation benchmark:
+// rebuilding a full VLB path store after one global-link failure,
+// either from scratch under the mask or incrementally through the
+// store's per-edge reverse index.
+type recompileRun struct {
+	Case        string  `json:"case"`
+	Mode        string  `json:"mode"` // full | incremental
+	WallSeconds float64 `json:"wallSeconds"`
+	DirtyPairs  int     `json:"dirtyPairs,omitempty"`
+	// Speedup is full wall over this row's wall.
+	Speedup float64 `json:"speedup"`
+}
+
 // report is the whole BENCH_model.json document.
 type report struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
@@ -82,6 +95,8 @@ type report struct {
 	GoVersion  string       `json:"goVersion"`
 	Quick      bool         `json:"quick"`
 	Cases      []caseResult `json:"cases"`
+	// Recompiles benchmarks failure-mask recompilation per case.
+	Recompiles []recompileRun `json:"recompiles"`
 }
 
 func fail(format string, args ...any) {
@@ -213,6 +228,67 @@ func runCase(c benchCase, workers int) caseResult {
 	return res
 }
 
+// runRecompile measures, for one case, the cost of deriving the
+// degraded full-VLB store after a single global-link failure: a
+// from-scratch masked compile versus ApplyFailures over the reverse
+// index. The two stores must agree pair for pair (same surviving
+// paths in the same order) — the bit-identity contract the model
+// tests pin — so the benchmark fails loudly on any divergence.
+func runRecompile(c benchCase) []recompileRun {
+	t := c.t
+	base := paths.Full{T: t}.Compile(t)
+	base.BuildEdgeIndex()
+	mask := topo.NewFailureMask(t)
+	dead, err := mask.FailGlobalLink(t.A/2, t.H-1)
+	if err != nil {
+		fail("%s: %v", c.name, err)
+	}
+
+	start := time.Now()
+	full := paths.CompileDegraded(t, paths.Full{T: t}, mask)
+	fullWall := time.Since(start)
+
+	// The incremental path is fast enough that one-shot timing is
+	// noise-bound; take the best of a few repetitions.
+	var inc *paths.Store
+	var st paths.RecompileStats
+	incWall := time.Duration(math.MaxInt64)
+	for rep := 0; rep < 5; rep++ {
+		start = time.Now()
+		inc, st = base.ApplyFailures(mask, dead)
+		if w := time.Since(start); w < incWall {
+			incWall = w
+		}
+	}
+
+	n := t.NumSwitches()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			ff, fc := full.PairRange(s, d)
+			inf, inc2 := inc.PairRange(s, d)
+			if fc != inc2 {
+				fail("%s: recompile diverged at pair (%d,%d): %d vs %d paths", c.name, s, d, fc, inc2)
+			}
+			for k := 0; k < fc; k++ {
+				if full.Hops(ff+paths.PathID(k)) != inc.Hops(inf+paths.PathID(k)) {
+					fail("%s: recompile diverged at pair (%d,%d) path %d", c.name, s, d, k)
+				}
+			}
+		}
+	}
+
+	rows := []recompileRun{
+		{Case: c.name, Mode: "full", WallSeconds: fullWall.Seconds(), Speedup: 1},
+		{Case: c.name, Mode: "incremental", WallSeconds: incWall.Seconds(),
+			DirtyPairs: st.DirtyPairs, Speedup: fullWall.Seconds() / incWall.Seconds()},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-8s recompile/%-12s %10.4fs  dirty=%-5d %.1fx\n",
+			r.Case, r.Mode, r.WallSeconds, r.DirtyPairs, r.Speedup)
+	}
+	return rows
+}
+
 func main() {
 	out := flag.String("o", "BENCH_model.json", "write the JSON report to this file")
 	quick := flag.Bool("quick", false, "CI tier: g=9, reduced grid and suite")
@@ -252,6 +328,9 @@ func main() {
 	}
 	for _, c := range cases {
 		rep.Cases = append(rep.Cases, runCase(c, w))
+	}
+	for _, c := range cases {
+		rep.Recompiles = append(rep.Recompiles, runRecompile(c)...)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

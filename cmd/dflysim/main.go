@@ -17,6 +17,7 @@ import (
 
 	"tugal/internal/netsim"
 	"tugal/internal/rng"
+	"tugal/internal/routing"
 	"tugal/internal/spec"
 	"tugal/internal/sweep"
 	"tugal/internal/topo"
@@ -26,6 +27,14 @@ import (
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "dflysim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// failUsage reports a bad flag value and exits with the conventional
+// usage status.
+func failUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dflysim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func main() {
@@ -50,16 +59,32 @@ func main() {
 	speedup := flag.Int("speedup", 2, "router internal speedup")
 	pktSize := flag.Int("packet", 1, "flits per packet (>1 enables wormhole)")
 	shards := flag.Int("shards", 0, "simulator shards (0/1 = sequential; bit-identical results)")
+	failSpec := flag.String("fail", "", "failure mask: comma-separated global:<sw>:<gp>, local:<u>:<v>, switch:<sw>")
 	doSweep := flag.Bool("sweep", false, "sweep loads up to -rate and report the curve")
 	points := flag.Int("points", 8, "sweep points")
 	chanStats := flag.Bool("chanstats", false, "collect and print per-channel utilization")
 	flag.Parse()
 
+	// Every enum-style or range-constrained flag is validated up front
+	// so a typo fails with a usage error naming the bad value instead
+	// of a panic (or silence) deep inside a run.
 	arr, ok := map[string]topo.Arrangement{
 		"absolute": topo.Absolute, "relative": topo.Relative,
 	}[*arrangement]
 	if !ok {
-		fail("unknown arrangement %q", *arrangement)
+		failUsage("-arrangement must be absolute or relative, got %q", *arrangement)
+	}
+	if *rate <= 0 {
+		failUsage("-rate must be positive, got %v", *rate)
+	}
+	if *measure <= 0 {
+		failUsage("-measure must be positive, got %v", *measure)
+	}
+	if *shards < 0 {
+		failUsage("-shards must be >= 0, got %d", *shards)
+	}
+	if *seeds <= 0 {
+		failUsage("-seeds must be positive, got %d", *seeds)
 	}
 	t, err := topo.NewArranged(*p, *a, *h, *g, arr)
 	if err != nil {
@@ -67,17 +92,27 @@ func main() {
 	}
 	pol, err := spec.Policy(t, *policy, rng.Hash64(*seed, 0x90))
 	if err != nil {
-		fail("%v", err)
+		failUsage("-policy: %v", err)
 	}
 	rf, defVCs, err := spec.Routing(t, *rtName, pol)
 	if err != nil {
-		fail("%v", err)
+		failUsage("-routing: %v", err)
 	}
 	if _, err := spec.Pattern(t, *pattern, *seed); err != nil {
-		fail("%v", err)
+		failUsage("-pattern: %v", err)
+	}
+	mask, err := spec.Failures(t, *failSpec)
+	if err != nil {
+		failUsage("-fail: %v", err)
+	}
+	if mask != nil {
+		if u, ok := rf.(*routing.UGAL); ok {
+			u.Fail = mask
+		}
 	}
 
 	cfg := netsim.Config{
+		Failures:         mask,
 		NumVCs:           defVCs,
 		BufSize:          *buf,
 		LocalLatency:     *localLat,
@@ -104,6 +139,9 @@ func main() {
 	fmt.Printf("%s (%s)  routing=%s  pattern=%s  vcs=%d buf=%d lat=%d/%d speedup=%d packet=%d\n",
 		t.Params, t.Arr, rf.Name(), *pattern, cfg.NumVCs, cfg.BufSize,
 		cfg.LocalLatency, cfg.GlobalLatency, cfg.SpeedUp, cfg.PacketSize)
+	if mask != nil {
+		fmt.Printf("degraded: %s\n", mask)
+	}
 
 	if *doSweep {
 		rates := sweep.Rates(*rate, *points)
@@ -125,6 +163,9 @@ func main() {
 		fmt.Printf("latency:    %.1f cycles (p50 %.1f, p99 %.1f)\n",
 			res.AvgLatency, res.P50Latency, res.P99Latency)
 		fmt.Printf("throughput: %.4f packets/cycle/node\n", res.Throughput)
+		if mask != nil {
+			fmt.Printf("refused:    %d packets\n", res.Refused)
+		}
 		fmt.Printf("saturated:  %v\n", res.Saturated)
 		if cs := res.Channels; cs != nil {
 			fmt.Printf("local  channels: mean %.3f max %.3f (max/mean %.2f)\n",

@@ -69,6 +69,14 @@ func run() int {
 		fmt.Println(exampleSuite)
 		return 0
 	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "experiment: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "experiment: -shards must be >= 0, got %d\n", *shards)
+		return 2
+	}
 	if *suitePath == "" {
 		fmt.Fprintln(os.Stderr, "experiment: -suite required (see -example)")
 		return 2

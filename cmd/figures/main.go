@@ -35,6 +35,19 @@ func main() {
 	progress := flag.Bool("progress", false, "report each completed simulation run on stderr")
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "figures: -shards must be >= 0, got %d\n", *shards)
+		os.Exit(2)
+	}
+	if *seeds <= 0 {
+		fmt.Fprintf(os.Stderr, "figures: -seeds must be positive, got %d\n", *seeds)
+		os.Exit(2)
+	}
+
 	// Figure runners schedule onto the default pool; size it (and
 	// attach the progress observer) before anything runs. Results are
 	// bit-identical for any -workers value.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tugal/internal/core"
+	"tugal/internal/spec"
 	"tugal/internal/topo"
 )
 
@@ -27,6 +28,7 @@ func main() {
 	g := flag.Int("g", 9, "number of groups")
 	full := flag.Bool("full", false, "paper-faithful settings (slow)")
 	seed := flag.Uint64("seed", 1, "master seed")
+	failSpec := flag.String("fail", "", "failure mask: comma-separated global:<sw>:<gp>, local:<u>:<v>, switch:<sw>")
 	flag.Parse()
 
 	t, err := topo.New(*p, *a, *h, *g)
@@ -34,13 +36,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tvlb:", err)
 		os.Exit(1)
 	}
+	mask, err := spec.Failures(t, *failSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvlb: -fail:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	opt := core.QuickOptions()
 	if *full {
 		opt = core.DefaultOptions()
 	}
 	opt.Seed = *seed
+	opt.Failures = mask
 
-	fmt.Printf("computing T-VLB for %s ...\n\n", t.Params)
+	fmt.Printf("computing T-VLB for %s ...\n", t.Params)
+	if mask != nil {
+		fmt.Printf("degraded: %s\n", mask)
+	}
+	fmt.Println()
 	start := time.Now()
 	res, err := core.ComputeTVLB(t, opt)
 	if err != nil {

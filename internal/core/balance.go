@@ -101,7 +101,10 @@ func RebalanceOn(net *flow.Network, pol paths.Policy, opt LBOptions) (paths.Poli
 	if !opt.Enabled {
 		return paths.NewExplicit(pol), BalanceReport{}
 	}
-	if st, ok := paths.TryCompile(net.T, pol, paths.DefaultCompileBudget); ok {
+	// On a degraded network (net.Fail set) the analysis runs over
+	// surviving paths only: the compiled branch gets the degraded
+	// store epoch, the interpreted branch filters each enumeration.
+	if st, ok := paths.TryCompileDegraded(net.T, pol, paths.DefaultCompileBudget, net.Fail); ok {
 		return rebalanceStore(net, st, opt)
 	}
 	return rebalanceInterpreted(net, pol, opt)
@@ -151,6 +154,24 @@ func (u *useScratch) mean() float64 {
 	return m / float64(len(u.touched))
 }
 
+// alivePaths drops paths crossing dead gear, in place and order
+// preserving, matching the degraded store's surviving sequence so the
+// two rebalance branches keep making identical decisions. A pristine
+// network returns the slice untouched.
+func alivePaths(net *flow.Network, ps []paths.Path) []paths.Path {
+	if net.Fail == nil {
+		return ps
+	}
+	nk := 0
+	for _, p := range ps {
+		if paths.Alive(net.Fail, p) {
+			ps[nk] = p
+			nk++
+		}
+	}
+	return ps[:nk]
+}
+
 // rebalanceInterpreted is the enumeration-based fallback for
 // policies too large to compile.
 func rebalanceInterpreted(net *flow.Network, pol paths.Policy, opt LBOptions) (*paths.Explicit, BalanceReport) {
@@ -166,7 +187,7 @@ func rebalanceInterpreted(net *flow.Network, pol paths.Policy, opt LBOptions) (*
 
 	for _, pr := range pairs {
 		s, d := int(pr[0]), int(pr[1])
-		ps := out.Enumerate(s, d)
+		ps := alivePaths(net, out.Enumerate(s, d))
 		if len(ps) == 0 {
 			continue
 		}
@@ -266,7 +287,7 @@ func rebalanceInterpreted(net *flow.Network, pol paths.Policy, opt LBOptions) (*
 	}
 	for _, pr := range pairs {
 		s, d := int(pr[0]), int(pr[1])
-		ps := out.Enumerate(s, d)
+		ps := alivePaths(net, out.Enumerate(s, d))
 		if len(ps) <= 1 {
 			continue
 		}

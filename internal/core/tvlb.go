@@ -57,6 +57,10 @@ type Options struct {
 	LB LBOptions
 	// Sim configures Step 2 simulation.
 	Sim SimOptions
+	// Failures customizes the path set for a degraded topology: every
+	// stage — Step-1 model, load-balance adjustment, Step-2 simulation
+	// — sees only surviving paths and zero capacity on dead gear.
+	Failures *topo.FailureMask
 }
 
 // DefaultOptions follows the paper's settings (20 TYPE_2 model
@@ -158,13 +162,17 @@ func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
+	// Degraded probes thread the mask everywhere a candidate set or an
+	// edge capacity is derived; with a nil mask every call below is
+	// exactly the pristine path.
+	opt.Model.Failures = opt.Failures
 	// One edge space and one demand-pair union serve the whole grid;
 	// each (point, repeat) compiles its policy's LoadMatrix over
 	// those pairs once (budget-gated) and shares it read-only across
 	// all pattern evaluations, which fan out on the worker pool
 	// inside AverageModeled. Compile cost lands on the pool observer
 	// like path-store compiles do.
-	net := flow.NewNetwork(t)
+	net := flow.NewDegradedNetwork(t, opt.Failures)
 	var pairs [][2]int32
 	if opt.Model.Loads.Enumerate && opt.Model.Loads.Matrix == nil {
 		pairs = flow.PatternPairs(t, pats)
@@ -177,7 +185,7 @@ func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
 	var base *paths.Store
 	var mgrid *flow.MatrixGrid
 	if pairs != nil {
-		if st, ok := paths.TryCompile(t, paths.Full{T: t}, paths.DefaultCompileBudget); ok {
+		if st, ok := paths.TryCompileDegraded(t, paths.Full{T: t}, paths.DefaultCompileBudget, opt.Failures); ok {
 			base = st
 			pool.Report(exec.Stat{Label: "compile/" + st.Name(),
 				Wall: st.BuildTime(), Bytes: st.Bytes()})
@@ -284,21 +292,25 @@ func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
 	pool := exec.Default()
 	// Simulate on the compiled form when it fits the budget, so every
 	// per-packet draw is a PathID lookup. Rebalanced candidates arrive
-	// already compiled; this covers the conventional baseline.
+	// already compiled (and already degraded when a mask is in play);
+	// this covers the conventional baseline.
 	if _, already := pol.(*paths.Store); !already {
-		if st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget); ok {
+		if st, ok := paths.TryCompileDegraded(t, pol, paths.DefaultCompileBudget, opt.Failures); ok {
 			pool.Report(exec.Stat{Label: "compile/" + st.Name(),
 				Wall: st.BuildTime(), Bytes: st.Bytes()})
 			pol = st
 		}
 	}
+	cfg := opt.Sim.Config
+	cfg.Failures = opt.Failures
 	pool.Run("tvlb/score", opt.Sim.Patterns, func(i int) int64 {
 		patSeed := rng.Hash64(opt.Seed, 0x5e2, uint64(i))
 		pf := func(seed uint64) traffic.Pattern {
 			return traffic.NewGroupPermutation(t, rng.Hash64(patSeed, seed))
 		}
 		rf := routing.NewUGALL(t, pol)
-		scores[i] = sweep.SaturationOn(pool, t, opt.Sim.Config, rf, pf,
+		rf.Fail = opt.Failures
+		scores[i] = sweep.SaturationOn(pool, t, cfg, rf, pf,
 			opt.Sim.Windows, opt.Sim.Seeds, opt.Sim.Resolution)
 		return 0
 	})
@@ -356,7 +368,7 @@ func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
 	res.Candidates = make([]Candidate, len(cands))
 	pool := exec.Default()
 	// One immutable edge space serves every candidate's adjustment.
-	net := flow.NewNetwork(t)
+	net := flow.NewDegradedNetwork(t, opt.Failures)
 	pool.Run("tvlb/candidates", len(cands), func(i int) int64 {
 		c := cands[i]
 		adj, rep := RebalanceOn(net, c.pol, opt.LB)

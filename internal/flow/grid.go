@@ -106,14 +106,17 @@ func NewMatrixGrid(net *Network, base *paths.Store, pairs [][2]int32) *MatrixGri
 		}
 		prev = pi
 
-		// MIN row, exactly as compileMatrix builds it.
-		minPaths := paths.EnumerateMin(net.T, s, d)
+		// MIN row, exactly as compileMatrix builds it (surviving
+		// paths only under a failure mask; possibly an empty row).
+		minPaths := paths.EnumerateMinAlive(net.T, net.Fail, s, d)
 		g.acc.reset()
-		w := 1 / float64(len(minPaths))
-		for _, p := range minPaths {
-			scratch = net.PathEdges(scratch[:0], p)
-			g.acc.add(scratch, w)
-			g.minHops[pi] += w * float64(p.Hops())
+		if len(minPaths) > 0 {
+			w := 1 / float64(len(minPaths))
+			for _, p := range minPaths {
+				scratch = net.PathEdges(scratch[:0], p)
+				g.acc.add(scratch, w)
+				g.minHops[pi] += w * float64(p.Hops())
+			}
 		}
 		g.minArena = g.acc.appendRow(g.minArena)
 

@@ -102,14 +102,19 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 		}
 
 		// MIN candidates are always enumerated exactly: there are at
-		// most K of them.
-		minPaths := paths.EnumerateMin(net.T, s, t)
+		// most K of them. Under a failure mask only surviving paths
+		// count; a pair with none yields an empty row (the solvers
+		// treat such a demand as VLB-only or unservable).
+		minPaths := paths.EnumerateMinAlive(net.T, net.Fail, s, t)
 		acc := make(map[Edge]float64, 8)
-		w := 1 / float64(len(minPaths))
-		for _, p := range minPaths {
-			scratch = net.PathEdges(scratch[:0], p)
-			accumulate(acc, scratch, w)
-			dl.MinHops[i] += w * float64(p.Hops())
+		var w float64
+		if len(minPaths) > 0 {
+			w = 1 / float64(len(minPaths))
+			for _, p := range minPaths {
+				scratch = net.PathEdges(scratch[:0], p)
+				accumulate(acc, scratch, w)
+				dl.MinHops[i] += w * float64(p.Hops())
+			}
 		}
 		dl.Min[i] = toSparse(acc)
 
@@ -130,13 +135,28 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 						dl.VlbHops[i] += w * float64(pbuf.Hops())
 					}
 				}
-			} else if vlbPaths := pol.Enumerate(s, t); len(vlbPaths) > 0 {
-				dl.VlbOK[i] = true
-				w = 1 / float64(len(vlbPaths))
-				for _, p := range vlbPaths {
-					scratch = net.PathEdges(scratch[:0], p)
-					accumulate(acc, scratch, w)
-					dl.VlbHops[i] += w * float64(p.Hops())
+			} else {
+				vlbPaths := pol.Enumerate(s, t)
+				if net.Fail != nil {
+					// Order-preserving aliveness filter, matching the
+					// degraded store's surviving sequence.
+					nk := 0
+					for _, p := range vlbPaths {
+						if paths.Alive(net.Fail, p) {
+							vlbPaths[nk] = p
+							nk++
+						}
+					}
+					vlbPaths = vlbPaths[:nk]
+				}
+				if len(vlbPaths) > 0 {
+					dl.VlbOK[i] = true
+					w = 1 / float64(len(vlbPaths))
+					for _, p := range vlbPaths {
+						scratch = net.PathEdges(scratch[:0], p)
+						accumulate(acc, scratch, w)
+						dl.VlbHops[i] += w * float64(p.Hops())
+					}
 				}
 			}
 		} else {
@@ -145,6 +165,9 @@ func ComputeLoads(net *Network, pol paths.Policy, demands []traffic.Demand, opt 
 				p, ok := pol.SampleVLB(r, s, t)
 				if !ok {
 					break
+				}
+				if net.Fail != nil && !paths.Alive(net.Fail, p) {
+					continue // dead sample: draw again within the budget
 				}
 				got++
 				scratch = net.PathEdges(scratch[:0], p)

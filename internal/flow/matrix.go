@@ -55,6 +55,16 @@ type LoadMatrix struct {
 	vlbHops []float64
 	vlbOK   []bool
 
+	// Patched rows of an incrementally recompiled matrix
+	// (Recompiled): patchOf[pi] >= 0 redirects the pair's rows to the
+	// patch CSR arenas, overriding the base arenas which stay shared
+	// with the pristine matrix. Nil on a directly compiled matrix.
+	patchOf   []int32
+	pMinStart []int32
+	pVlbStart []int32
+	pMinArena []EdgeWeight
+	pVlbArena []EdgeWeight
+
 	pairs     int
 	buildTime time.Duration
 }
@@ -165,6 +175,137 @@ func CompileLoadMatrixFromStore(net *Network, base *paths.Store, pol paths.Polic
 	return compileMatrix(net, pol, base, pairs)
 }
 
+// rowEnv bundles the state one pair-row compilation needs, so a full
+// compile (compileMatrix) and an incremental patch (Recompiled)
+// execute the exact same float operations in the exact same order —
+// the rows they emit are bit-identical by construction.
+type rowEnv struct {
+	net     *Network
+	pol     paths.Policy
+	st      *paths.Store // pol as a compiled store (walk own arena)
+	base    *paths.Store // superset store filtered by pol
+	sf      paths.StoredFilter
+	acc     *edgeAcc
+	scratch []Edge
+	pbuf    paths.Path
+	kept    []paths.Path
+}
+
+func newRowEnv(net *Network, pol paths.Policy, base *paths.Store) *rowEnv {
+	re := &rowEnv{net: net, pol: pol, base: base, acc: newEdgeAcc(net.NumEdges)}
+	re.st, _ = pol.(*paths.Store)
+	if re.st != nil {
+		re.base = nil // a Store walks its own arena
+	}
+	if re.base != nil {
+		re.sf, _ = pol.(paths.StoredFilter)
+	}
+	return re
+}
+
+// minRow appends the pair's MIN load row to arena and returns it with
+// the candidate-weighted average hop count. Under a failure mask only
+// surviving MIN paths are enumerated; a pair with none (endpoint or
+// every minimal route dead) yields an empty row and zero hops — never
+// a division by zero.
+func (re *rowEnv) minRow(s, d int, arena []EdgeWeight) ([]EdgeWeight, float64) {
+	minPaths := paths.EnumerateMinAlive(re.net.T, re.net.Fail, s, d)
+	re.acc.reset()
+	hops := 0.0
+	if len(minPaths) > 0 {
+		w := 1 / float64(len(minPaths))
+		for _, p := range minPaths {
+			re.scratch = re.net.PathEdges(re.scratch[:0], p)
+			re.acc.add(re.scratch, w)
+			hops += w * float64(p.Hops())
+		}
+	}
+	return re.acc.appendRow(arena), hops
+}
+
+// vlbRow appends the pair's VLB load row to arena, returning it with
+// the average hop count and availability.
+func (re *rowEnv) vlbRow(s, d int, arena []EdgeWeight) ([]EdgeWeight, float64, bool) {
+	re.acc.reset()
+	hops := 0.0
+	ok := false
+	if re.st != nil {
+		first, count := re.st.PairRange(s, d)
+		if count > 0 {
+			ok = true
+			w := 1 / float64(count)
+			for k := 0; k < count; k++ {
+				re.st.MaterializeInto(s, first+paths.PathID(k), &re.pbuf)
+				re.scratch = re.net.PathEdges(re.scratch[:0], re.pbuf)
+				re.acc.add(re.scratch, w)
+				hops += w * float64(re.pbuf.Hops())
+			}
+		}
+	} else if re.base != nil {
+		// Walk the shared superset store and keep what pol admits;
+		// the kept sequence is exactly pol.Enumerate's order. With a
+		// StoredFilter policy only admitted paths are materialized —
+		// length-filtered grid points reject the bulk of the full
+		// set from the stored hop count alone. Under a failure mask
+		// the base store must already be degraded (CompileDegraded),
+		// so its arena holds only surviving paths.
+		first, count := re.base.PairRange(s, d)
+		nk := 0
+		for k := 0; k < count; k++ {
+			id := first + paths.PathID(k)
+			if nk == len(re.kept) {
+				re.kept = append(re.kept, paths.Path{})
+			}
+			if re.sf != nil {
+				if !re.sf.AllowsStored(re.base, s, d, id) {
+					continue
+				}
+				re.base.MaterializeInto(s, id, &re.kept[nk])
+				nk++
+				continue
+			}
+			re.base.MaterializeInto(s, id, &re.kept[nk])
+			if re.pol.Contains(s, d, re.kept[nk]) {
+				nk++
+			}
+		}
+		if nk > 0 {
+			ok = true
+			w := 1 / float64(nk)
+			for k := 0; k < nk; k++ {
+				re.scratch = re.net.PathEdges(re.scratch[:0], re.kept[k])
+				re.acc.add(re.scratch, w)
+				hops += w * float64(re.kept[k].Hops())
+			}
+		}
+	} else {
+		vlbPaths := re.pol.Enumerate(s, d)
+		if re.net.Fail != nil {
+			// Order-preserving aliveness filter: the surviving
+			// sequence equals a degraded store's, so either
+			// compilation path yields the same row.
+			nk := 0
+			for _, p := range vlbPaths {
+				if paths.Alive(re.net.Fail, p) {
+					vlbPaths[nk] = p
+					nk++
+				}
+			}
+			vlbPaths = vlbPaths[:nk]
+		}
+		if len(vlbPaths) > 0 {
+			ok = true
+			w := 1 / float64(len(vlbPaths))
+			for _, p := range vlbPaths {
+				re.scratch = re.net.PathEdges(re.scratch[:0], p)
+				re.acc.add(re.scratch, w)
+				hops += w * float64(p.Hops())
+			}
+		}
+	}
+	return re.acc.appendRow(arena), hops, ok
+}
+
 func compileMatrix(net *Network, pol paths.Policy, base *paths.Store, pairs [][2]int32) *LoadMatrix {
 	start := time.Now()
 	n := net.T.NumSwitches()
@@ -185,19 +326,7 @@ func compileMatrix(net *Network, pol paths.Policy, base *paths.Store, pairs [][2
 	// CSR fill requires ascending pair order; callers may hand pairs
 	// in any order.
 	order := sortPairs(pairs, n)
-
-	st, _ := pol.(*paths.Store)
-	if st != nil {
-		base = nil // a Store walks its own arena
-	}
-	var sf paths.StoredFilter
-	if base != nil {
-		sf, _ = pol.(paths.StoredFilter)
-	}
-	acc := newEdgeAcc(net.NumEdges)
-	var scratch []Edge
-	var pbuf paths.Path
-	var kept []paths.Path
+	re := newRowEnv(net, pol, base)
 	prev := -1
 	for _, pr := range order {
 		s, d := int(pr[0]), int(pr[1])
@@ -213,76 +342,8 @@ func compileMatrix(net *Network, pol paths.Policy, base *paths.Store, pairs [][2
 		prev = pi
 		lm.has[pi] = true
 		lm.pairs++
-
-		// MIN candidates: always enumerated exactly (at most K).
-		minPaths := paths.EnumerateMin(net.T, s, d)
-		acc.reset()
-		w := 1 / float64(len(minPaths))
-		for _, p := range minPaths {
-			scratch = net.PathEdges(scratch[:0], p)
-			acc.add(scratch, w)
-			lm.minHops[pi] += w * float64(p.Hops())
-		}
-		lm.minArena = acc.appendRow(lm.minArena)
-
-		acc.reset()
-		if st != nil {
-			first, count := st.PairRange(s, d)
-			if count > 0 {
-				lm.vlbOK[pi] = true
-				w = 1 / float64(count)
-				for k := 0; k < count; k++ {
-					st.MaterializeInto(s, first+paths.PathID(k), &pbuf)
-					scratch = net.PathEdges(scratch[:0], pbuf)
-					acc.add(scratch, w)
-					lm.vlbHops[pi] += w * float64(pbuf.Hops())
-				}
-			}
-		} else if base != nil {
-			// Walk the shared superset store and keep what pol admits;
-			// the kept sequence is exactly pol.Enumerate's order. With a
-			// StoredFilter policy only admitted paths are materialized —
-			// length-filtered grid points reject the bulk of the full
-			// set from the stored hop count alone.
-			first, count := base.PairRange(s, d)
-			nk := 0
-			for k := 0; k < count; k++ {
-				id := first + paths.PathID(k)
-				if nk == len(kept) {
-					kept = append(kept, paths.Path{})
-				}
-				if sf != nil {
-					if !sf.AllowsStored(base, s, d, id) {
-						continue
-					}
-					base.MaterializeInto(s, id, &kept[nk])
-					nk++
-					continue
-				}
-				base.MaterializeInto(s, id, &kept[nk])
-				if pol.Contains(s, d, kept[nk]) {
-					nk++
-				}
-			}
-			if nk > 0 {
-				lm.vlbOK[pi] = true
-				w = 1 / float64(nk)
-				for k := 0; k < nk; k++ {
-					scratch = net.PathEdges(scratch[:0], kept[k])
-					acc.add(scratch, w)
-					lm.vlbHops[pi] += w * float64(kept[k].Hops())
-				}
-			}
-		} else if vlbPaths := pol.Enumerate(s, d); len(vlbPaths) > 0 {
-			lm.vlbOK[pi] = true
-			w = 1 / float64(len(vlbPaths))
-			for _, p := range vlbPaths {
-				scratch = net.PathEdges(scratch[:0], p)
-				acc.add(scratch, w)
-				lm.vlbHops[pi] += w * float64(p.Hops())
-			}
-		}
-		lm.vlbArena = acc.appendRow(lm.vlbArena)
+		lm.minArena, lm.minHops[pi] = re.minRow(s, d, lm.minArena)
+		lm.vlbArena, lm.vlbHops[pi], lm.vlbOK[pi] = re.vlbRow(s, d, lm.vlbArena)
 	}
 	for q := prev + 1; q <= n*n; q++ {
 		lm.minStart[q] = int32(len(lm.minArena))
@@ -290,6 +351,90 @@ func compileMatrix(net *Network, pol paths.Policy, base *paths.Store, pairs [][2
 	}
 	lm.buildTime = time.Since(start)
 	return lm
+}
+
+// MergeDirtyPairs unions dirty-pair lists (e.g. a store recompile's
+// RecompileStats.Pairs and paths.MinDirtyPairs) into one deduplicated
+// list — the row set Recompiled must re-derive.
+func MergeDirtyPairs(n int, lists ...[][2]int32) [][2]int32 {
+	seen := make([]bool, n*n)
+	var out [][2]int32
+	for _, l := range lists {
+		for _, pr := range l {
+			pi := int(pr[0])*n + int(pr[1])
+			if seen[pi] {
+				continue
+			}
+			seen[pi] = true
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// Recompiled derives the matrix for a degraded network from this one
+// without recompiling clean rows: only the dirty pairs — the union of
+// the store recompile's touched pairs and the MIN dirty pairs of the
+// newly dead channels (MergeDirtyPairs) — are re-derived, into patch
+// arenas; every other row aliases the receiver's arenas unchanged.
+// net carries the failure mask and pol the matching degraded path set
+// (typically the paths.Store epoch ApplyFailures returned). The
+// receiver is not modified; chained recompiles patch over patches.
+// Patched rows are bit-identical to a from-scratch degraded compile's
+// because both run the same rowEnv operations.
+func (lm *LoadMatrix) Recompiled(net *Network, pol paths.Policy, dirty [][2]int32) *LoadMatrix {
+	start := time.Now()
+	n := lm.n
+	out := &LoadMatrix{
+		Net:      net,
+		name:     pol.Name(),
+		n:        n,
+		has:      lm.has,
+		minStart: lm.minStart,
+		vlbStart: lm.vlbStart,
+		minArena: lm.minArena,
+		vlbArena: lm.vlbArena,
+		minHops:  append([]float64(nil), lm.minHops...),
+		vlbHops:  append([]float64(nil), lm.vlbHops...),
+		vlbOK:    append([]bool(nil), lm.vlbOK...),
+		pairs:    lm.pairs,
+	}
+	if lm.patchOf != nil {
+		out.patchOf = append([]int32(nil), lm.patchOf...)
+		// Full-capacity slices: the first append reallocates, leaving
+		// the receiver's readers untouched (the paths.Store overlay
+		// contract).
+		out.pMinStart = lm.pMinStart[:len(lm.pMinStart):len(lm.pMinStart)]
+		out.pVlbStart = lm.pVlbStart[:len(lm.pVlbStart):len(lm.pVlbStart)]
+		out.pMinArena = lm.pMinArena[:len(lm.pMinArena):len(lm.pMinArena)]
+		out.pVlbArena = lm.pVlbArena[:len(lm.pVlbArena):len(lm.pVlbArena)]
+	} else {
+		out.patchOf = make([]int32, n*n)
+		for pi := range out.patchOf {
+			out.patchOf[pi] = -1
+		}
+		out.pMinStart = []int32{0}
+		out.pVlbStart = []int32{0}
+	}
+	re := newRowEnv(net, pol, nil)
+	order := sortPairs(dirty, n)
+	prev := -1
+	for _, pr := range order {
+		s, d := int(pr[0]), int(pr[1])
+		pi := s*n + d
+		if pi == prev || s == d || !lm.has[pi] {
+			continue // duplicate, diagonal, or never compiled
+		}
+		prev = pi
+		j := int32(len(out.pMinStart) - 1)
+		out.pMinArena, out.minHops[pi] = re.minRow(s, d, out.pMinArena)
+		out.pMinStart = append(out.pMinStart, int32(len(out.pMinArena)))
+		out.pVlbArena, out.vlbHops[pi], out.vlbOK[pi] = re.vlbRow(s, d, out.pVlbArena)
+		out.pVlbStart = append(out.pVlbStart, int32(len(out.pVlbArena)))
+		out.patchOf[pi] = j
+	}
+	out.buildTime = time.Since(start)
+	return out
 }
 
 // EstimateMatrixEntries predicts the total sparse-entry count of a
@@ -373,6 +518,11 @@ func (lm *LoadMatrix) Has(s, d int) bool { return lm.has[s*lm.n+d] }
 // callers must not mutate it) and average MIN hop count.
 func (lm *LoadMatrix) MinRow(s, d int) (SparseVec, float64) {
 	pi := s*lm.n + d
+	if lm.patchOf != nil {
+		if j := lm.patchOf[pi]; j >= 0 {
+			return SparseVec(lm.pMinArena[lm.pMinStart[j]:lm.pMinStart[j+1]]), lm.minHops[pi]
+		}
+	}
 	return SparseVec(lm.minArena[lm.minStart[pi]:lm.minStart[pi+1]]), lm.minHops[pi]
 }
 
@@ -381,6 +531,11 @@ func (lm *LoadMatrix) MinRow(s, d int) (SparseVec, float64) {
 // candidate VLB path.
 func (lm *LoadMatrix) VlbRow(s, d int) (SparseVec, float64, bool) {
 	pi := s*lm.n + d
+	if lm.patchOf != nil {
+		if j := lm.patchOf[pi]; j >= 0 {
+			return SparseVec(lm.pVlbArena[lm.pVlbStart[j]:lm.pVlbStart[j+1]]), lm.vlbHops[pi], lm.vlbOK[pi]
+		}
+	}
 	return SparseVec(lm.vlbArena[lm.vlbStart[pi]:lm.vlbStart[pi+1]]), lm.vlbHops[pi], lm.vlbOK[pi]
 }
 
@@ -388,7 +543,9 @@ func (lm *LoadMatrix) VlbRow(s, d int) (SparseVec, float64, bool) {
 func (lm *LoadMatrix) Bytes() int64 {
 	const entry = 16 // EdgeWeight: int32 + pad + float64
 	b := entry * (int64(len(lm.minArena)) + int64(len(lm.vlbArena)))
+	b += entry * (int64(len(lm.pMinArena)) + int64(len(lm.pVlbArena)))
 	b += 4 * (int64(len(lm.minStart)) + int64(len(lm.vlbStart)))
+	b += 4 * (int64(len(lm.pMinStart)) + int64(len(lm.pVlbStart)) + int64(len(lm.patchOf)))
 	b += 8 * (int64(len(lm.minHops)) + int64(len(lm.vlbHops)))
 	b += int64(len(lm.vlbOK)) + int64(len(lm.has))
 	return b

@@ -16,6 +16,11 @@ type ModelOptions struct {
 	// Exact switches from the symmetric single-split solver to the
 	// per-demand-split LP (slower, tighter).
 	Exact bool
+	// Failures degrades the modeled network: dead channels get zero
+	// capacity and candidate enumeration is restricted to surviving
+	// paths. Ignored when Loads.Matrix is set — the matrix's own
+	// (already degraded) network wins.
+	Failures *topo.FailureMask
 }
 
 // DefaultModelOptions enumerates candidate sets exactly and uses the
@@ -29,7 +34,7 @@ func DefaultModelOptions() ModelOptions {
 // deterministic pattern under a path policy and returns the modeled
 // saturation throughput (packets/cycle/node).
 func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, opt ModelOptions) (Result, error) {
-	net := NewNetwork(t)
+	net := NewDegradedNetwork(t, opt.Failures)
 	if opt.Loads.Matrix != nil {
 		// Rows reference the matrix's edge space; share its network.
 		net = opt.Loads.Matrix.Net
@@ -59,7 +64,7 @@ func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Determinist
 func AverageModeled(t *topo.Topology, pol paths.Policy, pats []traffic.Deterministic, opt ModelOptions) (mean, stderr float64, err error) {
 	pool := exec.Default()
 	if opt.Loads.Enumerate && opt.Loads.Matrix == nil {
-		if lm, ok := TryCompileLoadMatrix(NewNetwork(t), pol, PatternPairs(t, pats), DefaultMatrixBudget); ok {
+		if lm, ok := TryCompileLoadMatrix(NewDegradedNetwork(t, opt.Failures), pol, PatternPairs(t, pats), DefaultMatrixBudget); ok {
 			opt.Loads.Matrix = lm
 			pool.Report(exec.Stat{Label: "loadmatrix/" + lm.Name(),
 				Wall: lm.BuildTime(), Bytes: lm.Bytes()})

@@ -39,6 +39,15 @@ type Network struct {
 	// Cap[e] is the capacity of edge e.
 	Cap []float64
 
+	// Fail, when non-nil, is the failure mask load compilation
+	// respects: MIN rows enumerate only surviving paths, interpreted
+	// VLB candidate sets are Alive-filtered, and dead channels carry
+	// zero capacity (so any load accidentally routed over dead gear
+	// collapses alpha to zero instead of passing silently). Compiled
+	// stores handed to the matrix builders must already be degraded
+	// under the same mask (paths.CompileDegraded / ApplyFailures).
+	Fail *topo.FailureMask
+
 	portsPerSw int // a-1+h switch-to-switch ports
 	injBase    int
 	ejBase     int
@@ -58,6 +67,28 @@ func NewNetwork(t *topo.Topology) *Network {
 	for s := 0; s < sw; s++ {
 		n.Cap[n.injBase+s] = float64(t.P)
 		n.Cap[n.ejBase+s] = float64(t.P)
+	}
+	return n
+}
+
+// NewDegradedNetwork builds the edge space with mask's failures
+// applied: dead channels (and the terminals of dead switches) get
+// capacity zero, and the mask is carried for the compilation paths.
+// A nil mask is equivalent to NewNetwork.
+func NewDegradedNetwork(t *topo.Topology, mask *topo.FailureMask) *Network {
+	n := NewNetwork(t)
+	if mask == nil {
+		return n
+	}
+	n.Fail = mask
+	for _, ch := range mask.DeadChannels() {
+		n.Cap[n.EdgeOf(int(ch.Sw), int(ch.Port))] = 0
+	}
+	for sw := 0; sw < t.NumSwitches(); sw++ {
+		if mask.SwitchDead(sw) {
+			n.Cap[n.injBase+sw] = 0
+			n.Cap[n.ejBase+sw] = 0
+		}
 	}
 	return n
 }

@@ -58,6 +58,15 @@ func (a *Aggregate) From(dl *DemandLoads) {
 			}
 			continue
 		}
+		if len(dl.Min[i]) == 0 {
+			// Degraded pair with no surviving MIN path: it cannot
+			// adapt, so its whole rate rides the VLB row regardless of
+			// the split.
+			for _, ew := range dl.Vlb[i] {
+				a.Fixed[ew.E] += d.Rate * ew.W
+			}
+			continue
+		}
 		for _, ew := range dl.Min[i] {
 			a.Mu[ew.E] += d.Rate * ew.W
 		}
@@ -187,17 +196,32 @@ func SolveLP(dl *DemandLoads) (Result, error) {
 		p := lp.NewProblem(2*nd + 1)
 		p.SetObjective(alphaVar, 1)
 		for i, d := range dl.Demands {
-			if dl.VlbOK[i] {
+			minOK := len(dl.Min[i]) > 0
+			switch {
+			case dl.VlbOK[i] && minOK:
 				p.AddConstraint([]lp.Term{
 					{Var: i, Coeff: 1},
 					{Var: nd + i, Coeff: 1},
 					{Var: alphaVar, Coeff: -d.Rate},
 				}, lp.EQ, 0)
-			} else {
+			case dl.VlbOK[i]:
+				// No surviving MIN path: all-VLB, m pinned to zero so
+				// an empty MIN row cannot carry free throughput.
+				p.AddConstraint([]lp.Term{
+					{Var: nd + i, Coeff: 1},
+					{Var: alphaVar, Coeff: -d.Rate},
+				}, lp.EQ, 0)
+				p.AddConstraint([]lp.Term{{Var: i, Coeff: 1}}, lp.EQ, 0)
+			case minOK:
 				p.AddConstraint([]lp.Term{
 					{Var: i, Coeff: 1},
 					{Var: alphaVar, Coeff: -d.Rate},
 				}, lp.EQ, 0)
+				p.AddConstraint([]lp.Term{{Var: nd + i, Coeff: 1}}, lp.EQ, 0)
+			default:
+				// No surviving path at all (a dead endpoint): the
+				// demand is unservable and excluded from the model.
+				p.AddConstraint([]lp.Term{{Var: i, Coeff: 1}}, lp.EQ, 0)
 				p.AddConstraint([]lp.Term{{Var: nd + i, Coeff: 1}}, lp.EQ, 0)
 			}
 		}

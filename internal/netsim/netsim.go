@@ -31,6 +31,17 @@ type Config struct {
 	// CollectChanStats enables per-channel flit counting during the
 	// measurement window (RunResult.Channels).
 	CollectChanStats bool
+	// Failures, when non-nil, degrades the network: packets to or from
+	// a dead switch are refused at generation time, and a packet whose
+	// computed route is empty (the routing layer's refusal sentinel)
+	// or crosses a dead channel is dropped at injection, before it
+	// enters the network. Refusals are counted (RunResult.Refused) and
+	// happen on the sequential injection path only, so sharded and
+	// multi-worker runs stay bit-identical. The routing function
+	// should be failure-aware under the same mask (routing.UGAL.Fail);
+	// the injection-time route walk is a deterministic backstop, not
+	// the primary mechanism.
+	Failures *topo.FailureMask
 	// PacketSize is the number of flits per packet. 1 (the paper's
 	// setting, default when 0) uses the fast single-flit path; >1
 	// switches to wormhole flow control: the head flit acquires the
@@ -292,6 +303,7 @@ type Network struct {
 	// Accounting.
 	injected    int64 // entered a source queue
 	delivered   int64 // ejected at destination
+	refusedInj  int64 // flits dropped at injection (dead route)
 	lastDeliver int64 // cycle of the most recent ejection
 	measBegin   int64
 	measEnd     int64
@@ -300,8 +312,9 @@ type Network struct {
 	measHops    stats.Welford
 	measVLB     int64 // measured packets routed non-minimally
 	measInj     int64 // measured packets that entered the network
-	measCount   int64 // measured packets generated
+	measCount   int64 // measured packets generated (refusals included)
 	measDeliv   int64 // measured packets delivered
+	measRefused int64 // measured packets refused (dead endpoint/route)
 	deliveredIn int64 // packets delivered within [measBegin, measEnd)
 
 	// chanCount[sw*(radix-p) + out-p] counts flits sent on each
@@ -337,6 +350,9 @@ func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate
 	}
 	if rate < 0 || rate > 1 {
 		panic("netsim: rate must be in [0,1]")
+	}
+	if cfg.Failures != nil && cfg.Failures.Topo() != t {
+		panic("netsim: Config.Failures was built for a different topology")
 	}
 	n := &Network{
 		T:          t,
@@ -562,9 +578,9 @@ func (n *Network) audit() (inFlight int64, err error) {
 		}
 	}
 	inFlight = buffered + queued + wheeled
-	if n.injected != n.delivered+inFlight {
-		return inFlight, fmt.Errorf("netsim: conservation violated: injected=%d delivered=%d inflight=%d",
-			n.injected, n.delivered, inFlight)
+	if n.injected != n.delivered+inFlight+n.refusedInj {
+		return inFlight, fmt.Errorf("netsim: conservation violated: injected=%d delivered=%d inflight=%d refused=%d",
+			n.injected, n.delivered, inFlight, n.refusedInj)
 	}
 	return inFlight, nil
 }

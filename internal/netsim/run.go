@@ -34,6 +34,11 @@ type RunResult struct {
 	// Measured and Undelivered count measurement-window packets.
 	Measured    int64
 	Undelivered int64
+	// Refused counts measurement-window packets refused under a
+	// failure mask (dead endpoint switch or no surviving route); they
+	// count toward OfferedLoad but can never be delivered, so drain
+	// and the undelivered statistics treat them as resolved.
+	Refused int64
 	// Cycles is the network's total simulated cycle count at the end
 	// of the Run — cumulative since New, not per call. On a warm
 	// network (repeated Run calls, the mechanism behind RunConverged)
@@ -81,7 +86,7 @@ func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
 		n.step()
 	}
 	deadline := n.measEnd + drainCap
-	for n.measDeliv < n.measCount && n.now < deadline {
+	for n.measDeliv+n.measRefused < n.measCount && n.now < deadline {
 		n.step()
 	}
 	nodes := float64(n.T.NumNodes())
@@ -90,7 +95,8 @@ func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
 		Throughput:  float64(n.deliveredIn) / (nodes * float64(measure)),
 		AvgHops:     n.measHops.Mean(),
 		Measured:    n.measCount,
-		Undelivered: n.measCount - n.measDeliv,
+		Undelivered: n.measCount - n.measDeliv - n.measRefused,
+		Refused:     n.measRefused,
 		Cycles:      n.now,
 	}
 	if n.measInj > 0 {
@@ -115,7 +121,7 @@ func (n *Network) Run(warmup, measure, drainCap int64) RunResult {
 // deadlockSuspected reports whether flits are in flight but nothing
 // has been delivered for watchdogWindow cycles.
 func (n *Network) deadlockSuspected() bool {
-	if n.injected == n.delivered {
+	if n.injected == n.delivered+n.refusedInj {
 		return false
 	}
 	return n.now-n.lastDeliver >= watchdogWindow
@@ -168,6 +174,7 @@ func (n *Network) resetMeasurement() {
 	n.measHist.Reset()
 	n.measHops.Reset()
 	n.measVLB, n.measInj, n.measCount, n.measDeliv, n.deliveredIn = 0, 0, 0, 0, 0
+	n.measRefused = 0
 	if n.chanCount != nil {
 		for i := range n.chanCount {
 			n.chanCount[i] = 0
@@ -381,32 +388,43 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 		// queue keeps draining below.
 		if dst, ok := n.pattern.Dest(n.trafficRNG, int(node)); ok && dst != int(node) &&
 			n.nodeQ[node].len() < sourceQueueCap {
-			size := n.Cfg.PacketSize
-			head := n.allocFlit()
-			head.ID = n.nextID
-			n.nextID++
-			head.PktID = head.ID
-			head.Src, head.Dst = node, int32(dst)
-			head.GenTime = gen
-			head.pending = int32(size)
-			head.IsTail = size == 1
-			if gen >= n.measBegin && gen < n.measEnd {
-				head.Measured = true
-				n.measCount++
-			}
-			n.nodeQ[node].push(head)
-			n.injected++
-			for k := 1; k < size; k++ {
-				b := n.allocFlit()
-				b.ID = n.nextID
+			if fail := n.Cfg.Failures; fail != nil &&
+				(fail.SwitchDead(t.SwitchOfNode(int(node))) || fail.SwitchDead(t.SwitchOfNode(dst))) {
+				// Dead endpoint switch: the packet is refused before it
+				// exists. The traffic RNG draw above already happened,
+				// so surviving pairs see the exact same sequence.
+				if gen >= n.measBegin && gen < n.measEnd {
+					n.measCount++
+					n.measRefused++
+				}
+			} else {
+				size := n.Cfg.PacketSize
+				head := n.allocFlit()
+				head.ID = n.nextID
 				n.nextID++
-				b.PktID = head.PktID
-				b.Src, b.Dst = head.Src, head.Dst
-				b.GenTime = gen
-				b.head = head
-				b.IsTail = k == size-1
-				n.nodeQ[node].push(b)
+				head.PktID = head.ID
+				head.Src, head.Dst = node, int32(dst)
+				head.GenTime = gen
+				head.pending = int32(size)
+				head.IsTail = size == 1
+				if gen >= n.measBegin && gen < n.measEnd {
+					head.Measured = true
+					n.measCount++
+				}
+				n.nodeQ[node].push(head)
 				n.injected++
+				for k := 1; k < size; k++ {
+					b := n.allocFlit()
+					b.ID = n.nextID
+					n.nextID++
+					b.PktID = head.PktID
+					b.Src, b.Dst = head.Src, head.Dst
+					b.GenTime = gen
+					b.head = head
+					b.IsTail = k == size-1
+					n.nodeQ[node].push(b)
+					n.injected++
+				}
 			}
 		}
 		ng := n.geomNext(gen)
@@ -431,6 +449,17 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 		// Head flit: compute the packet's route now, from
 		// current source-router state.
 		n.routing.SourceRoute(n, n.routeRNG, f)
+		if n.Cfg.Failures != nil && (len(f.Route) == 0 || !n.routeAlive(sw, f)) {
+			// The routing function found no surviving candidate (the
+			// empty-route refusal sentinel), or handed back a route
+			// crossing dead gear — refuse the whole packet here at the
+			// injection port rather than blackhole it mid-network.
+			n.refusePacket(f, q)
+			if q.len() > 0 {
+				nextActive = append(nextActive, node)
+			}
+			return nextActive
+		}
 		if f.Revisable && len(n.shards) > 1 {
 			panic("netsim: routing function declared RevisesInFlight()==false " +
 				"but produced a Revisable flit under the sharded stepper")
@@ -447,6 +476,42 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 		nextActive = append(nextActive, node)
 	}
 	return nextActive
+}
+
+// routeAlive walks a head flit's computed route from its source
+// switch and reports whether every channel it would traverse — and
+// the final (ejecting) switch — survives the failure mask. It is the
+// simulator's backstop against a routing function that is not
+// failure-aware: such routes are refused at injection instead of
+// wedging flow control mid-network.
+func (n *Network) routeAlive(sw int32, f *Flit) bool {
+	fail := n.Cfg.Failures
+	cur := int(sw)
+	for _, hop := range f.Route[:len(f.Route)-1] {
+		if fail.ChannelDead(cur, int(hop.Port)) {
+			return false
+		}
+		cur = n.T.PeerOfPort(cur, int(hop.Port))
+	}
+	return !fail.SwitchDead(cur)
+}
+
+// refusePacket drops a popped head flit plus its body flits — still
+// contiguous behind it, since a packet is pushed whole at generation
+// — from a source queue, recording the refusal. Runs on the
+// sequential injection path only, so the counters stay deterministic
+// under sharding.
+func (n *Network) refusePacket(f *Flit, q *fifo) {
+	dropped := int64(1)
+	for q.len() > 0 && q.peek().head == f {
+		n.freeFlit(q.pop())
+		dropped++
+	}
+	if f.Measured {
+		n.measRefused++
+	}
+	n.refusedInj += dropped
+	n.freeFlit(f)
 }
 
 // allocateShard performs switch allocation for every active router

@@ -107,10 +107,11 @@ func Validate(t *topo.Topology, p Path) error {
 	}
 	for i, pt := range p.Ports {
 		u, v := int(p.Sw[i]), int(p.Sw[i+1])
-		if t.KindOfPort(int(pt)) == topo.Terminal {
-			return fmt.Errorf("paths: hop %d uses terminal port %d", i, pt)
+		got, ok := t.PeerOfPortOK(u, int(pt))
+		if !ok {
+			return fmt.Errorf("paths: hop %d uses invalid port %d at switch %d", i, pt, u)
 		}
-		if got := t.PeerOfPort(u, int(pt)); got != v {
+		if got != v {
 			return fmt.Errorf("paths: hop %d port %d of switch %d reaches %d, path says %d", i, pt, u, got, v)
 		}
 	}

@@ -47,17 +47,76 @@ type Store struct {
 	hops      []uint8
 	ports     []int8 // flat arena, MaxVLBHops entries per path
 	buildTime time.Duration
+
+	// Degraded-topology overlay state, zero on pristine stores. An
+	// ApplyFailures epoch shares the base arenas (pairStart/hops/
+	// ports) read-only and overrides the per-pair index: when
+	// pairFirst is non-nil, pair pi spans [pairFirst[pi],
+	// pairFirst[pi]+pairCount[pi]). PathIDs below len(hops) address
+	// the base arena; higher IDs address the patch arena at
+	// id-len(hops), where rewritten (shrunken) pair ranges live.
+	mask      *topo.FailureMask
+	epoch     int
+	pairFirst []int32
+	pairCount []int32
+	pHops     []uint8
+	pPorts    []int8
+	idx       *edgeIndex
 }
+
+// pairSpan returns pair pi's first PathID and path count, honoring
+// the overlay index when present.
+func (st *Store) pairSpan(pi int) (PathID, int) {
+	if st.pairFirst != nil {
+		return PathID(st.pairFirst[pi]), int(st.pairCount[pi])
+	}
+	first := st.pairStart[pi]
+	return PathID(first), int(st.pairStart[pi+1] - first)
+}
+
+// hopOf resolves a path's hop count across the base and patch arenas.
+func (st *Store) hopOf(id PathID) int {
+	if i := int(id); i < len(st.hops) {
+		return int(st.hops[i])
+	}
+	return int(st.pHops[int(id)-len(st.hops)])
+}
+
+// portsOf resolves a path's port sequence (stride MaxVLBHops) across
+// the base and patch arenas.
+func (st *Store) portsOf(id PathID) []int8 {
+	if i := int(id); i < len(st.hops) {
+		return st.ports[i*MaxVLBHops : (i+1)*MaxVLBHops]
+	}
+	j := int(id) - len(st.hops)
+	return st.pPorts[j*MaxVLBHops : (j+1)*MaxVLBHops]
+}
+
+// Mask returns the failure mask the store was compiled or recompiled
+// under (nil for pristine stores).
+func (st *Store) Mask() *topo.FailureMask { return st.mask }
+
+// Epoch returns the store's recompilation epoch: 0 for a fresh
+// compile, incremented by every ApplyFailures derivation.
+func (st *Store) Epoch() int { return st.epoch }
 
 // compileStore enumerates pol pair by pair (bounded by the policy's
 // hop cap) and packs every member path into the arena. Per-pair path
 // order is exactly the policy's Enumerate order, so analyses that
 // walk paths in order behave identically on the compiled form.
 func compileStore(t *topo.Topology, pol Policy, maxHops int) *Store {
+	return compileStoreMasked(t, pol, maxHops, nil)
+}
+
+// compileStoreMasked is compileStore with paths crossing a dead
+// channel of mask excluded. Per-pair order is the policy's Enumerate
+// order filtered by aliveness — exactly the sequence ApplyFailures
+// produces incrementally, which is what makes the two bit-identical.
+func compileStoreMasked(t *topo.Topology, pol Policy, maxHops int, mask *topo.FailureMask) *Store {
 	start := time.Now()
 	n := t.NumSwitches()
 	_, isFull := pol.(Full)
-	st := &Store{T: t, name: pol.Name(), full: isFull, n: n}
+	st := &Store{T: t, name: pol.Name(), full: isFull, n: n, mask: mask}
 	st.pairStart = make([]int32, n*n+1)
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
@@ -67,6 +126,9 @@ func compileStore(t *topo.Topology, pol Policy, maxHops int) *Store {
 			}
 			for _, p := range EnumerateVLBMax(t, s, d, maxHops) {
 				if !pol.Contains(s, d, p) {
+					continue
+				}
+				if !Alive(mask, p) {
 					continue
 				}
 				st.hops = append(st.hops, uint8(p.Hops()))
@@ -171,18 +233,19 @@ func (st *Store) Name() string {
 // Compile implements Policy: a Store is already compiled.
 func (st *Store) Compile(*topo.Topology) *Store { return st }
 
-// NumPaths returns the total number of compiled paths.
-func (st *Store) NumPaths() int { return len(st.hops) }
+// NumPaths returns the size of the PathID space: base plus patch
+// arena entries. On an overlay store some IDs belong to superseded
+// ranges that PairRange never yields; removal sets indexed by PathID
+// (Without) stay correct because those IDs are simply never visited.
+func (st *Store) NumPaths() int { return len(st.hops) + len(st.pHops) }
 
 // PairRange returns the pair's first PathID and path count.
 func (st *Store) PairRange(s, d int) (PathID, int) {
-	pi := s*st.n + d
-	first := st.pairStart[pi]
-	return PathID(first), int(st.pairStart[pi+1] - first)
+	return st.pairSpan(s*st.n + d)
 }
 
 // Hops returns a compiled path's hop count.
-func (st *Store) Hops(id PathID) int { return int(st.hops[id]) }
+func (st *Store) Hops(id PathID) int { return st.hopOf(id) }
 
 // SampleID draws a uniform PathID from the pair's range: the O(1),
 // allocation-free replacement for rejection sampling. ok=false when
@@ -201,11 +264,11 @@ func (st *Store) SampleID(r *rng.Source, s, d int) (PathID, bool) {
 func (st *Store) MaterializeInto(src int, id PathID, dst *Path) {
 	dst.Sw = append(dst.Sw[:0], int32(src))
 	dst.Ports = dst.Ports[:0]
-	h := int(st.hops[id])
-	base := int(id) * MaxVLBHops
+	h := st.hopOf(id)
+	ports := st.portsOf(id)
 	cur := src
 	for i := 0; i < h; i++ {
-		pt := st.ports[base+i]
+		pt := ports[i]
 		cur = st.T.PeerOfPort(cur, int(pt))
 		dst.Sw = append(dst.Sw, int32(cur))
 		dst.Ports = append(dst.Ports, pt)
@@ -217,10 +280,11 @@ func (st *Store) MaterializeInto(src int, id PathID, dst *Path) {
 // sequence without building the path.
 func (st *Store) KeyOf(src int, id PathID) uint64 {
 	h := rng.Mix(rng.HashSeed, uint64(int32(src)))
-	base := int(id) * MaxVLBHops
+	n := st.hopOf(id)
+	ports := st.portsOf(id)
 	cur := src
-	for i := 0; i < int(st.hops[id]); i++ {
-		pt := st.ports[base+i]
+	for i := 0; i < n; i++ {
+		pt := ports[i]
 		h = rng.Mix(h, uint64(uint8(pt)))
 		cur = st.T.PeerOfPort(cur, int(pt))
 		h = rng.Mix(h, uint64(int32(cur)))
@@ -266,13 +330,13 @@ func (st *Store) Contains(s, d int, p Path) bool {
 	h := p.Hops()
 outer:
 	for i := 0; i < count; i++ {
-		id := int(first) + i
-		if int(st.hops[id]) != h {
+		id := first + PathID(i)
+		if st.hopOf(id) != h {
 			continue
 		}
-		base := id * MaxVLBHops
+		ports := st.portsOf(id)
 		for j := 0; j < h; j++ {
-			if st.ports[base+j] != p.Ports[j] {
+			if ports[j] != p.Ports[j] {
 				continue outer
 			}
 		}
@@ -287,12 +351,13 @@ outer:
 // split points of its middle local hop), so one concrete path may
 // hold several PathIDs; removal semantics treat those as one path.
 func (st *Store) EqualIDs(a, b PathID) bool {
-	if st.hops[a] != st.hops[b] {
+	h := st.hopOf(a)
+	if h != st.hopOf(b) {
 		return false
 	}
-	ba, bb := int(a)*MaxVLBHops, int(b)*MaxVLBHops
-	for i := 0; i < int(st.hops[a]); i++ {
-		if st.ports[ba+i] != st.ports[bb+i] {
+	pa, pb := st.portsOf(a), st.portsOf(b)
+	for i := 0; i < h; i++ {
+		if pa[i] != pb[i] {
 			return false
 		}
 	}
@@ -315,18 +380,25 @@ func (st *Store) Without(removed []bool) *Store {
 		T:    st.T,
 		name: fmt.Sprintf("%s-minus-%d", st.name, nRemoved),
 		n:    st.n,
+		mask: st.mask,
 	}
-	out.pairStart = make([]int32, len(st.pairStart))
-	out.hops = make([]uint8, 0, len(st.hops)-nRemoved)
-	out.ports = make([]int8, 0, (len(st.hops)-nRemoved)*MaxVLBHops)
+	live := st.NumPaths() - nRemoved
+	if live < 0 {
+		live = 0
+	}
+	out.pairStart = make([]int32, st.n*st.n+1)
+	out.hops = make([]uint8, 0, live)
+	out.ports = make([]int8, 0, live*MaxVLBHops)
 	for pi := 0; pi < st.n*st.n; pi++ {
 		out.pairStart[pi] = int32(len(out.hops))
-		for id := st.pairStart[pi]; id < st.pairStart[pi+1]; id++ {
+		first, count := st.pairSpan(pi)
+		for k := 0; k < count; k++ {
+			id := first + PathID(k)
 			if removed[id] {
 				continue
 			}
-			out.hops = append(out.hops, st.hops[id])
-			out.ports = append(out.ports, st.ports[int(id)*MaxVLBHops:int(id+1)*MaxVLBHops]...)
+			out.hops = append(out.hops, uint8(st.hopOf(id)))
+			out.ports = append(out.ports, st.portsOf(id)...)
 		}
 	}
 	out.pairStart[st.n*st.n] = int32(len(out.hops))
@@ -334,9 +406,13 @@ func (st *Store) Without(removed []bool) *Store {
 	return out
 }
 
-// Bytes reports the resident size of the compiled arenas.
+// Bytes reports the resident size of the compiled arenas, including
+// any overlay patch arenas and per-pair index.
 func (st *Store) Bytes() int64 {
-	return int64(len(st.ports)) + int64(len(st.hops)) + 4*int64(len(st.pairStart))
+	b := int64(len(st.ports)) + int64(len(st.hops)) + 4*int64(len(st.pairStart))
+	b += int64(len(st.pPorts)) + int64(len(st.pHops))
+	b += 4 * int64(len(st.pairFirst)+len(st.pairCount))
+	return b
 }
 
 // BuildTime reports how long compilation took.
@@ -351,16 +427,19 @@ type StoreStats struct {
 	BuildTime time.Duration
 }
 
-// Stats computes the store's summary statistics.
+// Stats computes the store's summary statistics over the live path
+// set (superseded overlay ranges are not counted).
 func (st *Store) Stats() StoreStats {
-	s := StoreStats{Paths: st.NumPaths(), Bytes: st.Bytes(), BuildTime: st.buildTime}
+	s := StoreStats{Bytes: st.Bytes(), BuildTime: st.buildTime}
 	for pi := 0; pi < st.n*st.n; pi++ {
-		if st.pairStart[pi+1] > st.pairStart[pi] {
+		first, count := st.pairSpan(pi)
+		if count > 0 {
 			s.Pairs++
 		}
-	}
-	for _, h := range st.hops {
-		s.HopHist[h]++
+		s.Paths += count
+		for k := 0; k < count; k++ {
+			s.HopHist[st.hopOf(first+PathID(k))]++
+		}
 	}
 	return s
 }

@@ -79,6 +79,14 @@ type UGAL struct {
 	Threshold int
 	// Label overrides the derived name.
 	Label string
+	// Fail, when non-nil, makes the router failure-aware: MIN
+	// candidates are drawn from surviving paths only, VLB samples are
+	// rejected while dead (compiled policies should already be the
+	// degraded store epoch, making the check free), and a packet with
+	// no surviving candidate at all is refused — its route is left
+	// empty, the sentinel the simulator's injection path drops
+	// deterministically.
+	Fail *topo.FailureMask
 
 	// Reusable candidate-path buffers (hot path: one MIN and one VLB
 	// candidate per packet).
@@ -91,11 +99,18 @@ type UGAL struct {
 	bound bool
 }
 
+// vlbAttempts bounds the aliveness rejection loop of an interpreted
+// policy under a failure mask (the same budget paths uses for its own
+// rejection samplers).
+const vlbAttempts = 64
+
 // sampleVLB draws one candidate VLB path into vlbBuf. With a
 // compiled policy this is a single PathID draw materialized straight
 // into the reusable buffer — O(1) and allocation-free regardless of
 // how restrictive the policy is; otherwise it falls back to the
-// interpreted sampler.
+// interpreted sampler. Under a failure mask only alive paths are
+// returned: a degraded store samples them directly, an interpreted
+// policy rejection-samples (bounded) against the mask.
 func (u *UGAL) sampleVLB(r *rng.Source, s, d int) bool {
 	if !u.bound {
 		u.store, _ = u.Policy.(*paths.Store)
@@ -107,9 +122,25 @@ func (u *UGAL) sampleVLB(r *rng.Source, s, d int) bool {
 			return false
 		}
 		u.store.MaterializeInto(s, id, &u.vlbBuf)
+		if u.Fail != nil && !paths.Alive(u.Fail, u.vlbBuf) {
+			// Only possible when the store predates the mask; the
+			// degraded epoch never stores dead paths.
+			return false
+		}
 		return true
 	}
-	return u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf)
+	if u.Fail == nil {
+		return u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf)
+	}
+	for try := 0; try < vlbAttempts; try++ {
+		if !u.Policy.SampleVLBInto(r, s, d, &u.vlbBuf) {
+			return false
+		}
+		if paths.Alive(u.Fail, u.vlbBuf) {
+			return true
+		}
+	}
+	return false
 }
 
 // Constructors for the paper's six schemes. The conventional variant
@@ -276,12 +307,16 @@ func (u *UGAL) SourceRoute(n *netsim.Network, r *rng.Source, f *Flit) {
 	d := t.SwitchOfNode(int(f.Dst))
 	eject := netsim.RouteHop{Port: int8(t.NodeIndex(int(f.Dst))), VC: 0}
 	if s == d {
+		if u.Fail != nil && u.Fail.SwitchDead(s) {
+			f.Route = f.Route[:0] // refused: dead switch
+			return
+		}
 		f.Route = append(f.Route[:0], eject)
 		f.MinRouted = true
 		return
 	}
-	paths.SampleMinInto(t, r, s, d, &u.minBuf)
-	useMin := true
+	minOK := paths.SampleMinAliveInto(t, u.Fail, r, s, d, &u.minBuf)
+	useMin := minOK
 	switch u.Mode {
 	case MinOnly:
 	case VLBOnly:
@@ -290,20 +325,30 @@ func (u *UGAL) SourceRoute(n *netsim.Network, r *rng.Source, f *Flit) {
 		}
 	default:
 		if u.sampleVLB(r, s, d) {
-			var qMin, qVlb int
-			switch u.Mode {
-			case Global:
-				qMin = globalCost(n, u.minBuf)
-				qVlb = globalCost(n, u.vlbBuf)
-			case Piggyback:
-				qMin = piggybackCost(n, t, u.minBuf)
-				qVlb = piggybackCost(n, t, u.vlbBuf)
-			default:
-				qMin = creditCost(n, u.minBuf)
-				qVlb = creditCost(n, u.vlbBuf)
+			if !minOK {
+				useMin = false
+			} else {
+				var qMin, qVlb int
+				switch u.Mode {
+				case Global:
+					qMin = globalCost(n, u.minBuf)
+					qVlb = globalCost(n, u.vlbBuf)
+				case Piggyback:
+					qMin = piggybackCost(n, t, u.minBuf)
+					qVlb = piggybackCost(n, t, u.vlbBuf)
+				default:
+					qMin = creditCost(n, u.minBuf)
+					qVlb = creditCost(n, u.vlbBuf)
+				}
+				useMin = qMin <= qVlb+u.Threshold
 			}
-			useMin = qMin <= qVlb+u.Threshold
 		}
+	}
+	if useMin && !minOK {
+		// No surviving candidate in the modes allowed to serve this
+		// packet: refuse it (empty-route sentinel).
+		f.Route = f.Route[:0]
+		return
 	}
 	chosen := u.minBuf
 	if !useMin {

@@ -195,6 +195,66 @@ func placedPattern(t *topo.Topology, base, strat string, seed uint64) (traffic.P
 	return placement.NewPlaced(t, rp, place, st.String()), nil
 }
 
+// Failures parses a failure-mask spec: a comma-separated list of
+//
+//	global:<sw>:<gp>  — the global link on switch sw's gp-th global port
+//	local:<u>:<v>     — the local link between switches u and v
+//	switch:<sw>       — the whole switch, every channel in and out
+//
+// Switch ids are flat (0..a*g-1), gp is 0..h-1. An empty spec
+// returns a nil mask (pristine topology). Repeating a failure is
+// accepted and idempotent, matching the FailureMask contract.
+func Failures(t *topo.Topology, s string) (*topo.FailureMask, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	m := topo.NewFailureMask(t)
+	for _, item := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		atoi := func(i int) (int, error) {
+			v, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return 0, fmt.Errorf("spec: failure %q: %v", item, err)
+			}
+			return v, nil
+		}
+		var err error
+		switch {
+		case parts[0] == "global" && len(parts) == 3:
+			var sw, gp int
+			if sw, err = atoi(1); err != nil {
+				return nil, err
+			}
+			if gp, err = atoi(2); err != nil {
+				return nil, err
+			}
+			_, err = m.FailGlobalLink(sw, gp)
+		case parts[0] == "local" && len(parts) == 3:
+			var u, v int
+			if u, err = atoi(1); err != nil {
+				return nil, err
+			}
+			if v, err = atoi(2); err != nil {
+				return nil, err
+			}
+			_, err = m.FailLocalLink(u, v)
+		case parts[0] == "switch" && len(parts) == 2:
+			var sw int
+			if sw, err = atoi(1); err != nil {
+				return nil, err
+			}
+			_, err = m.FailSwitch(sw)
+		default:
+			return nil, fmt.Errorf("spec: failure %q, want global:<sw>:<gp>, local:<u>:<v> or switch:<sw>", item)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("spec: failure %q: %w", item, err)
+		}
+	}
+	return m, nil
+}
+
 // Routing builds a routing function from its spec name, returning it
 // with the VC budget it requires. T- schemes use pol as their T-VLB
 // set; conventional schemes ignore pol.

@@ -98,6 +98,42 @@ func TestRoutingSpec(t *testing.T) {
 	}
 }
 
+func TestFailuresSpec(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	if m, err := Failures(tp, ""); m != nil || err != nil {
+		t.Fatalf("empty spec: %v %v (want nil mask, nil error)", m, err)
+	}
+	m, err := Failures(tp, "global:2:1, local:4:5 ,switch:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, l, sw := m.Counts()
+	// The failed switch contributes its own global and local channels
+	// on top of the two explicit link failures.
+	if g != 1+tp.H || l != 1+(tp.A-1) || sw != 1 {
+		t.Fatalf("counts g=%d l=%d sw=%d", g, l, sw)
+	}
+	if !m.SwitchDead(8) || m.SwitchDead(7) {
+		t.Fatal("switch failure not applied to the right switch")
+	}
+	for _, bad := range []string{
+		"global:2", "global:2:9", "local:4", "local:4:4", "switch:999",
+		"switch:x", "link:1:2",
+	} {
+		if _, err := Failures(tp, bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+	// Repeated failures are idempotent, not errors.
+	m2, err := Failures(tp, "global:2:1,global:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, _, _ := m2.Counts(); g != 1 {
+		t.Fatalf("idempotent double failure counted %d globals", g)
+	}
+}
+
 func TestSuiteLoadAndRun(t *testing.T) {
 	const js = `{
 	  "experiments": [{

@@ -254,6 +254,24 @@ func (t *Topology) LocalPort(u, v int) int {
 	return t.P + sv
 }
 
+// LocalPortOK is LocalPort returning ok=false instead of panicking
+// when u and v are not distinct switches of one group (or are out of
+// range). Library code that may be handed degraded or untrusted
+// switch pairs uses this form.
+func (t *Topology) LocalPortOK(u, v int) (port int, ok bool) {
+	if u < 0 || v < 0 || u >= t.NumSwitches() || v >= t.NumSwitches() {
+		return 0, false
+	}
+	su, sv := u%t.A, v%t.A
+	if u/t.A != v/t.A || su == sv {
+		return 0, false
+	}
+	if sv > su {
+		sv--
+	}
+	return t.P + sv, true
+}
+
 // GlobalPort returns the port for global link index gp (0..h-1).
 func (t *Topology) GlobalPort(gp int) int { return t.P + t.A - 1 + gp }
 
@@ -295,6 +313,16 @@ func (t *Topology) PeerOfPort(sw, pt int) int {
 	default:
 		panic("topo: PeerOfPort on terminal port")
 	}
+}
+
+// PeerOfPortOK is PeerOfPort returning ok=false for terminal or
+// out-of-range ports (or switches) instead of panicking. Validation
+// paths that may see corrupt port sequences use this form.
+func (t *Topology) PeerOfPortOK(sw, pt int) (peer int, ok bool) {
+	if sw < 0 || sw >= t.NumSwitches() || pt < t.P || pt >= t.Radix() {
+		return 0, false
+	}
+	return t.PeerOfPort(sw, pt), true
 }
 
 // GlobalLink is one directed global connection u -> v.
@@ -350,7 +378,7 @@ func (t *Topology) AdjacentPort(u, v int) (port int, ok bool) {
 		return 0, false
 	}
 	if t.SameGroup(u, v) {
-		return t.LocalPort(u, v), true
+		return t.LocalPortOK(u, v)
 	}
 	for gp := 0; gp < t.H; gp++ {
 		if int(t.globalPeer[u][gp]) == v {
