@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tugal/internal/netsim"
 	"tugal/internal/rng"
@@ -63,7 +65,45 @@ func main() {
 	doSweep := flag.Bool("sweep", false, "sweep loads up to -rate and report the curve")
 	points := flag.Int("points", 8, "sweep points")
 	chanStats := flag.Bool("chanstats", false, "collect and print per-channel utilization")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Profile plumbing mirrors cmd/experiment so a hot-loop regression
+	// seen on a single run is diagnosable without rebuilding the suite
+	// harness around it. fail() exits without running the deferred
+	// stops, which only loses the profile of an already-failed run.
+	if *cpuprofile != "" {
+		cf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			fail("%v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cf.Close()
+			fmt.Fprintln(os.Stderr, "dflysim: wrote CPU profile to", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			mf, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dflysim:", err)
+				return
+			}
+			defer mf.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, "dflysim:", err)
+				return
+			}
+			fmt.Fprintln(os.Stderr, "dflysim: wrote heap profile to", *memprofile)
+		}()
+	}
 
 	// Every enum-style or range-constrained flag is validated up front
 	// so a typo fails with a usage error naming the bad value instead

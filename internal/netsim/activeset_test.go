@@ -11,63 +11,81 @@ import (
 // Property test for the allocator's incremental scan state: after any
 // sequence of enqueue/dequeue operations, portMask, vcMask, headCache,
 // inOcc, flits and the shard active bitsets must agree with a
-// brute-force recomputation from the underlying queues. These
+// brute-force recomputation from the underlying ring queues. These
 // invariants are what let allocate visit only set bits — a stale mask
-// or active bit silently drops or invents work.
+// or active bit silently drops or invents work — and what makes the
+// rotated vcMask bit scan equivalent to probing every VC's head cache.
 
-// checkScanState recomputes every derived structure of router rt from
-// its input queues and compares.
-func checkScanState(t *testing.T, n *Network, rt *router, step int) {
+// checkScanState recomputes every derived structure of switch sw from
+// its input-queue rings and compares.
+func checkScanState(t *testing.T, n *Network, sw int32, step int) {
 	t.Helper()
-	numVCs := n.Cfg.NumVCs
-	ports := n.T.Radix()
+	numVCs := n.numVCs
+	ports := n.ports
+	sh := n.shardOf(sw)
+	fa := &n.fa
 	var flits int32
 	var portMask uint64
 	for p := 0; p < ports; p++ {
+		pi := int(sw)*ports + p
 		var occ int32
 		var vm uint16
 		for v := 0; v < numVCs; v++ {
-			slot := p*numVCs + v
-			q := &rt.in[slot]
-			occ += int32(q.len())
+			g := pi*numVCs + v
+			m := n.qMeta[g]
+			qlen := int32(uint8(m>>8) - uint8(m))
+			occ += qlen
 			wantHead := uint16(headEmpty)
-			if head := q.peek(); head != nil {
+			if qlen > 0 {
 				vm |= 1 << v
-				hop := head.route()[head.HopIdx]
-				wantHead = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+				head := int32(uint32(m >> 32))
+				if rw := n.qRW[g]; rw&rwSlow == 0 {
+					// Fast flit: its arena hopIdx is not maintained;
+					// the authoritative position is the route word's
+					// next-hop index, one past the buffered hop.
+					idx := int(rw>>rwIdxShift) & 31
+					hop := fa.rec[head].route[idx-1]
+					wantHead = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+				} else {
+					rs := head
+					if h := fa.rec[head].headOf; h >= 0 {
+						rs = h
+					}
+					hop := fa.rec[rs].route[fa.rec[head].hopIdx]
+					wantHead = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+				}
 			}
-			if rt.headCache[slot] != wantHead {
+			if hc := uint16(m >> 16); hc != wantHead {
 				t.Fatalf("step %d: router %d headCache[%d,%d] = %#x, recomputed %#x",
-					step, rt.id, p, v, rt.headCache[slot], wantHead)
+					step, sw, p, v, hc, wantHead)
 			}
 		}
-		if rt.vcMask[p] != vm {
+		if n.vcMask[pi] != vm {
 			t.Fatalf("step %d: router %d vcMask[%d] = %#x, recomputed %#x",
-				step, rt.id, p, rt.vcMask[p], vm)
+				step, sw, p, n.vcMask[pi], vm)
 		}
-		if rt.inOcc[p] != occ {
+		if n.inOcc[pi] != occ {
 			t.Fatalf("step %d: router %d inOcc[%d] = %d, recomputed %d",
-				step, rt.id, p, rt.inOcc[p], occ)
+				step, sw, p, n.inOcc[pi], occ)
 		}
 		if vm != 0 {
 			portMask |= 1 << p
 		}
 		flits += occ
 	}
-	if rt.portMask != portMask {
+	if n.portMask[sw] != portMask {
 		t.Fatalf("step %d: router %d portMask = %#x, recomputed %#x",
-			step, rt.id, rt.portMask, portMask)
+			step, sw, n.portMask[sw], portMask)
 	}
-	if rt.flits != flits {
+	if n.flits[sw] != flits {
 		t.Fatalf("step %d: router %d flits = %d, recomputed %d",
-			step, rt.id, rt.flits, flits)
+			step, sw, n.flits[sw], flits)
 	}
-	sh := &n.shards[rt.id/n.shardSize]
-	i := uint32(rt.id - sh.lo)
+	i := uint32(sw - sh.lo)
 	active := sh.active[i>>6]&(1<<(i&63)) != 0
 	if active != (flits > 0) {
 		t.Fatalf("step %d: router %d active bit = %v with %d flits",
-			step, rt.id, active, flits)
+			step, sw, active, flits)
 	}
 }
 
@@ -85,50 +103,64 @@ func TestActiveSetInvariants(t *testing.T) {
 	r := rng.New(99)
 	numVCs := n.Cfg.NumVCs
 	ports := tp.Radix()
-	// A pool of 1-hop routes so refreshHead has something to decode;
-	// the decoded next hop is arbitrary — only cache agreement matters.
-	mkFlit := func(id int64) *Flit {
-		f := &Flit{ID: id, IsTail: true, pending: 1}
-		f.Route = append(f.Route, RouteHop{
+	// Fresh arena slots with 1-hop routes so refreshHead has something
+	// to decode; the decoded next hop is arbitrary — only cache
+	// agreement matters.
+	mkFlit := func() int32 {
+		s := n.fa.alloc()
+		n.fa.rec[s].src, n.fa.rec[s].dst = 0, 1
+		n.fa.rec[s].hopIdx = 0
+		n.fa.rec[s].genTime = 0
+		n.fa.rec[s].headOf = -1
+		n.fa.rec[s].pending = 1
+		n.fa.rec[s].flags = fIsTail
+		route := append(n.fa.routeBlock(s), RouteHop{
 			Port: int8(r.Intn(ports)), VC: int8(r.Intn(numVCs)),
 		})
-		return f
+		n.fa.setRoute(s, route)
+		return s
 	}
 	type slotRef struct {
-		rt       *router
+		sw       int32
 		port, vc int
 	}
 	var occupied []slotRef // one entry per buffered flit, any order
-	var nextID int64
 	const steps = 4000
 	for i := 0; i < steps; i++ {
-		rt := &n.routers[r.Intn(len(n.routers))]
-		// Bias toward enqueue so buffers build depth, but always
-		// dequeue when anything is buffered at the sampled point.
-		if len(occupied) == 0 || r.Float64() < 0.6 {
-			port, vc := r.Intn(ports), r.Intn(numVCs)
-			n.enqueue(rt, port, vc, mkFlit(nextID))
-			nextID++
-			occupied = append(occupied, slotRef{rt, port, vc})
-			checkScanState(t, n, rt, i)
-		} else {
+		sw := int32(r.Intn(tp.NumSwitches()))
+		port, vc := r.Intn(ports), r.Intn(numVCs)
+		// Bias toward enqueue so buffers build depth — but never past
+		// BufSize, the bound every production enqueue path (credits,
+		// terminal backpressure) already enforces on the fixed-capacity
+		// rings — and always dequeue when anything is buffered at the
+		// sampled point.
+		doEnq := len(occupied) == 0 || r.Float64() < 0.6
+		if doEnq && n.queueLen(int(sw), port, vc) >= n.Cfg.BufSize {
+			doEnq = false
+		}
+		if doEnq {
+			f := mkFlit()
+			n.enqueue(n.shardOf(sw), sw, port, vc, f, headEmpty, n.fa.packRW(f, 1))
+			occupied = append(occupied, slotRef{sw, port, vc})
+			checkScanState(t, n, sw, i)
+		} else if len(occupied) > 0 {
 			k := r.Intn(len(occupied))
 			ref := occupied[k]
 			occupied[k] = occupied[len(occupied)-1]
 			occupied = occupied[:len(occupied)-1]
-			if f := n.dequeue(ref.rt, ref.port, ref.vc); f == nil {
-				t.Fatalf("step %d: dequeue returned nil from occupied slot", i)
+			if f, _ := n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc); f < 0 {
+				t.Fatalf("step %d: dequeue returned invalid slot %d", i, f)
 			}
-			checkScanState(t, n, ref.rt, i)
+			checkScanState(t, n, ref.sw, i)
 		}
 	}
 	// Drain everything and verify the global quiescent state: no
 	// active bits, no masks, all caches empty.
 	for _, ref := range occupied {
-		n.dequeue(ref.rt, ref.port, ref.vc)
+		n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc)
 	}
-	for i := range n.routers {
-		checkScanState(t, n, &n.routers[i], steps)
+	for sw := 0; sw < tp.NumSwitches(); sw++ {
+		checkScanState(t, n, int32(sw), steps)
 	}
 	for s := range n.shards {
 		for w, word := range n.shards[s].active {
@@ -151,8 +183,8 @@ func TestActiveSetUnderTraffic(t *testing.T) {
 		for c := 0; c < 600; c++ {
 			n.step()
 			if c%97 == 0 {
-				for i := range n.routers {
-					checkScanState(t, n, &n.routers[i], c)
+				for sw := 0; sw < tp.NumSwitches(); sw++ {
+					checkScanState(t, n, int32(sw), c)
 				}
 			}
 		}

@@ -54,6 +54,28 @@ func BenchmarkStepSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkStepArena measures the steady-state cycle loop alone:
+// the network is built and warmed outside the timer, so ns/op and
+// allocs/op describe only stepping an already-running simulation —
+// the figure the flit arena's zero-steady-state-allocation claim is
+// about (BenchmarkStepSharded amortizes construction into every op
+// instead). Expected allocs/op: ~0 (occasional timing-wheel bucket
+// growth only).
+func BenchmarkStepArena(b *testing.B) {
+	const cycles = 200
+	t := topo.MustNew(4, 8, 4, 9)
+	rf := routing.NewUGALL(t, paths.Full{T: t})
+	n := netsim.New(t, netsim.DefaultConfig(), rf.CloneRouting(),
+		traffic.Shift{T: t, DG: 2, DS: 0}, 0.15)
+	n.Run(800, 200, 0) // warm to steady occupancy
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Run(0, cycles, 0)
+	}
+	b.ReportMetric(cycles*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+}
+
 // BenchmarkInjectActive isolates the O(active) injection win: a large
 // network at a load so low that almost every terminal is idle almost
 // every cycle — the regime where the former full node scan dominated.

@@ -48,10 +48,8 @@ func TestScheduleRejectsOutOfWheelDelay(t *testing.T) {
 	// The documented trap: raising a channel latency after New. The
 	// simulator must fail loudly at the first scheduled event.
 	n2 := New(tp, DefaultConfig(), minRouter{tp}, traffic.Uniform{T: tp}, 0.3)
-	for i := range n2.routers {
-		for j := range n2.routers[i].outLat {
-			n2.routers[i].outLat[j] = int16(len(n2.wheel)) // beyond the wheel
-		}
+	for j := range n2.outLat {
+		n2.outLat[j] = int16(len(n2.wheel)) // beyond the wheel
 	}
 	mustPanic(t, "timing wheel", func() {
 		for i := 0; i < 5000; i++ {

@@ -7,6 +7,12 @@
 // concrete MIN or VLB route per packet, PAR may revise in the source
 // group), warmup plus measurement windows, and the paper's
 // 500-cycle average-latency saturation rule.
+//
+// The hot loop is struct-of-arrays: flits live in an int32-indexed
+// arena of parallel dense arrays (see flitArena), input buffers are
+// flat per-shard ring-buffer arenas, and timing-wheel events carry
+// flit indices — the inner loop never follows a pointer and never
+// allocates in steady state (DESIGN.md §4.9).
 package netsim
 
 import (
@@ -93,16 +99,20 @@ type RouteHop struct {
 	VC   int8
 }
 
-// Flit is one flit; with the paper's single-flit packets (the
-// default) it is the whole packet. In multi-flit mode the head flit
-// carries the route and decisions; body/tail flits reference it.
+// Flit is the routing-boundary view of one packet head: the struct
+// RoutingFunc implementations read and write. Inside the simulator
+// flits are not structs — they are int32 slots in a struct-of-arrays
+// arena (flitArena) — and one reusable Flit is materialized from the
+// arena around each SourceRoute/Revise call. Its Route slice aliases
+// the slot's fixed-stride block of the per-network route arena, so
+// appendHops-style construction writes the arena directly with no
+// copy; a standalone Flit (as the routing unit tests build) works the
+// same way with an ordinary heap slice.
 type Flit struct {
-	ID       int64
 	Src, Dst int32 // node ids
 	Route    []RouteHop
 	HopIdx   int32
 	GenTime  int64 // cycle the packet was generated at the node
-	InjTime  int64 // cycle the packet entered its source switch
 	// Measured marks packets generated inside the measurement window.
 	Measured bool
 	// MinRouted records the UGAL decision (diagnostics + PAR).
@@ -110,30 +120,154 @@ type Flit struct {
 	// Revisable marks a MIN-routed PAR packet that may divert at the
 	// source-group gateway switch.
 	Revisable bool
-	// LocalHops/GlobalHops taken so far; routing uses them to assign
-	// VCs when revising a route mid-flight.
-	LocalHops, GlobalHops int8
-	// Multi-flit (wormhole) mode only:
-	// PktID groups the flits of one packet; IsTail marks the last
-	// flit; head points to the packet's head flit on body/tail flits
-	// (nil on heads and in single-flit mode) — body flits read the
-	// route through the head so a PAR revision reaches them, but
-	// advance their own HopIdx; pending (head only) counts the
-	// packet's not-yet-ejected flits so the head's storage outlives
-	// its own ejection.
-	PktID   int64
-	IsTail  bool
-	head    *Flit
-	pending int32
 }
 
-// route returns the packet's route (shared through the head for
-// body/tail flits).
-func (f *Flit) route() []RouteHop {
-	if f.head != nil {
-		return f.head.Route
+// Flag bits of a flit-arena slot.
+const (
+	fMeasured uint16 = 1 << iota
+	fMinRouted
+	fRevisable
+	fIsTail
+)
+
+// maxRoute is the fixed stride of the route arena: the longest route
+// (switch hops plus the ejection hop) a slot's block accommodates. A
+// dragonfly VLB route is at most 6 hops + eject, and a PAR diversion
+// rewrites within the same bound; 16 leaves headroom for custom
+// routing functions. setRoute panics loudly on anything longer.
+const maxRoute = 16
+
+// flitRec is one flit-arena slot: every per-flit field the hot loop
+// touches — identity, wormhole linkage, timing, flags and the whole
+// fixed-stride route block — packed into exactly 64 bytes, so the
+// arena is an array of cache-line-sized records and forwarding a flit
+// fills one line instead of one per parallel array. (The arena began
+// as fully parallel per-field arrays; profiling showed the forward
+// path paying four random line fills per flit — hopIdx, flags,
+// headOf, route — for data that always travels together.)
+type flitRec struct {
+	src, dst int32
+	// headOf is the head flit's slot on body/tail flits, -1 on heads
+	// (and on all single-flit packets).
+	headOf int32
+	// pending (head slots only) counts the packet's not-yet-ejected
+	// flits; the head slot is recycled only when it reaches zero.
+	pending  int32
+	genTime  int64
+	hopIdx   int16
+	routeLen int16
+	flags    uint16
+	_        uint16
+	// route holds the slot's source route (fixed stride maxRoute).
+	route [maxRoute]RouteHop
+}
+
+// flitArena is the flit store: a dense array of flitRec records
+// addressed by int32 slot. Slots are recycled through a free list on
+// ejection, so steady-state simulation allocates nothing and the GC
+// never scans a flit. Wormhole packets reference their head flit by
+// slot (headOf) and keep the head's slot alive via pending — the
+// count of the packet's not-yet-ejected flits — so body flits can
+// read the route through the head even after the head itself ejected.
+type flitArena struct {
+	rec  []flitRec
+	free []int32
+}
+
+// alloc returns a free slot, growing the arena when the free list is
+// empty. Callers initialize all fields.
+func (a *flitArena) alloc() int32 {
+	if k := len(a.free); k > 0 {
+		s := a.free[k-1]
+		a.free = a.free[:k-1]
+		return s
 	}
-	return f.Route
+	a.rec = append(a.rec, flitRec{headOf: -1})
+	return int32(len(a.rec) - 1)
+}
+
+// release recycles a slot. The caller guarantees no live reference
+// remains — in wormhole mode a head slot is released only when its
+// pending count reaches zero (see deliver).
+func (a *flitArena) release(s int32) { a.free = append(a.free, s) }
+
+// size returns the number of slots ever allocated (live + free).
+func (a *flitArena) size() int { return len(a.rec) }
+
+// live returns the number of currently allocated slots.
+func (a *flitArena) live() int { return len(a.rec) - len(a.free) }
+
+// routeBlock returns the slot's empty arena-backed route view: length
+// zero, capacity maxRoute, aliasing the slot's block so appends write
+// the arena directly.
+func (a *flitArena) routeBlock(s int32) []RouteHop {
+	return a.rec[s].route[0:0:maxRoute]
+}
+
+// routeOf returns the slot's current route, capacity-clamped to its
+// block so in-place revision cannot spill into a neighbor slot.
+func (a *flitArena) routeOf(s int32) []RouteHop {
+	return a.rec[s].route[0:a.rec[s].routeLen:maxRoute]
+}
+
+// Packed remaining-route word ("rw"): travels with a flit through
+// events and queue-block words so the forward path never touches the
+// flit's arena record between inject and eject. Layout:
+//
+//	bits  0..49  up to five future hops, 10 bits each: port | vc<<6
+//	bits 50..53  count of hops held in the word
+//	bits 54..58  route index of the word's first hop
+//	bit  59      slow marker: consult the arena record instead
+//
+// Wormhole packets (route read through headOf, hopIdx drives VC
+// ownership) and Revisable flits (route rewritten at head-arrival)
+// carry the slow marker and use the original record-backed path.
+// Fast routes are at most 7 hops (VLB legs + ejection), so a flit
+// needs at most one mid-flight repack from its record.
+const (
+	rwCntShift = 50
+	rwIdxShift = 54
+	rwSlow     = uint64(1) << 59
+	rwHopMask  = uint64(1)<<rwCntShift - 1
+)
+
+// packRW packs up to five hops of slot s's route starting at index
+// from (cnt 0 with a valid idx when from is already past the end —
+// the forward path repacks on demand).
+func (a *flitArena) packRW(s int32, from int) uint64 {
+	rec := &a.rec[s]
+	cnt := int(rec.routeLen) - from
+	if cnt > 5 {
+		cnt = 5
+	}
+	if cnt < 0 {
+		cnt = 0
+	}
+	var hops uint64
+	for i := cnt - 1; i >= 0; i-- {
+		h := rec.route[from+i]
+		hops = hops<<10 | uint64(uint8(h.Port)) | uint64(uint8(h.VC))<<6
+	}
+	return hops | uint64(cnt)<<rwCntShift | uint64(from)<<rwIdxShift
+}
+
+// setRoute records the route a SourceRoute/Revise call left in the
+// view. The fast path — the routing function appended within the
+// block's capacity — is just the length store; a view that escaped
+// the block (a reallocating append that later truncated back, or an
+// arena growth between view creation and the write-back) is copied
+// home, and a route that genuinely exceeds maxRoute is a
+// configuration error worth dying loudly for: silently truncating it
+// would corrupt routing.
+func (a *flitArena) setRoute(s int32, route []RouteHop) {
+	if len(route) > maxRoute {
+		panic(fmt.Sprintf("netsim: routing function produced a %d-hop route; "+
+			"the route arena stride is %d hops", len(route), maxRoute))
+	}
+	if len(route) > 0 && &route[0] != &a.rec[s].route[0] {
+		copy(a.rec[s].route[:], route)
+	}
+	a.rec[s].routeLen = int16(len(route))
 }
 
 // RoutingFunc computes and revises source routes. Implementations
@@ -142,10 +276,15 @@ type RoutingFunc interface {
 	Name() string
 	// SourceRoute fills f.Route (ending with the ejection hop),
 	// f.MinRouted and f.Revisable for a packet entering the network.
+	// f.Route arrives empty with its backing storage provided by the
+	// caller (arena-backed inside the simulator): implementations
+	// should append to it rather than replace it, and must not retain
+	// it past the call.
 	SourceRoute(n *Network, r *rng.Source, f *Flit)
 	// Revise is called once when a Revisable flit reaches the head of
 	// an input buffer at switch sw; it may rewrite the remaining
-	// route. Implementations that never revise can no-op.
+	// route (same storage rules as SourceRoute). Implementations that
+	// never revise can no-op.
 	Revise(n *Network, r *rng.Source, f *Flit, sw int32)
 	// CloneRouting returns an independent instance safe to hand to a
 	// concurrently running simulation. Implementations with per-packet
@@ -175,86 +314,32 @@ type chanRef struct {
 	port int8
 }
 
-// fifo is a slice-backed flit queue with amortized O(1) pop.
-type fifo struct {
-	buf  []*Flit
-	head int
-}
-
-func (q *fifo) len() int { return len(q.buf) - q.head }
-
-func (q *fifo) push(f *Flit) { q.buf = append(q.buf, f) }
-
-func (q *fifo) peek() *Flit {
-	if q.head >= len(q.buf) {
-		return nil
-	}
-	return q.buf[q.head]
-}
-
-func (q *fifo) pop() *Flit {
-	f := q.buf[q.head]
-	q.buf[q.head] = nil
-	q.head++
-	if q.head >= 32 && q.head*2 >= len(q.buf) {
-		n := copy(q.buf, q.buf[q.head:])
-		q.buf = q.buf[:n]
-		q.head = 0
-	}
-	return f
-}
-
-// router is one input-queued switch.
-type router struct {
-	// id is the switch id (the router's own index).
-	id int32
-	// in[port][vc] input buffers; terminal ports hold injected flits.
-	in []fifo
-	// portMask has bit p set when port p buffers any flit; vcMask[p]
-	// has bit v set when in[p][v] is non-empty. The allocator scans
-	// set bits instead of all (port, vc) slots.
-	portMask uint64
-	vcMask   []uint16
-	// headCache[port*numVCs+vc] caches the head flit's decoded next
-	// hop as outPort<<8|outVC (headEmpty when the queue is empty), so
-	// the allocator's hot scan touches one contiguous uint16 array
-	// instead of dereferencing flits.
-	headCache []uint16
-	// inOcc[port] is the total buffered flit count of the port: the
-	// quantity UGAL-G reads remotely.
-	inOcc []int32
-	// credits[(port-p)*numVCs+vc] tracks free downstream slots for
-	// each non-terminal out-port.
-	credits []int16
-	// ovcOwner[(port-p)*numVCs+vc] is the PktID holding the output
-	// VC in wormhole mode (-1 free); nil in single-flit mode.
-	ovcOwner []int64
-	// inChan[port] is the upstream (router, port) feeding this input
-	// (r = -1 for terminal ports); used to return credits.
-	inChan []chanRef
-	// outPeer[port-p] is the downstream (router, in-port) of each
-	// non-terminal out-port.
-	outPeer []chanRef
-	// outLat[port-p] is the channel latency of each non-terminal
-	// out-port.
-	outLat []int16
-	// rrPort rotates input arbitration priority.
-	rrPort int32
-	// flits counts all buffered flits (skip idle routers fast).
-	flits int32
-}
-
-// event is a timing-wheel entry: a flit delivery (flit != nil) into
-// in[port][vc] of router r, or a credit return (flit == nil) for
-// out-port port, VC vc of router r.
+// event is a timing-wheel entry: a flit delivery (flit >= 0, an arena
+// slot) into in[port][vc] of router r, or a credit return (flit < 0)
+// for out-port port, VC vc of router r. Pointer-free by design: wheel
+// buckets and mailboxes are appended and drained with no GC write
+// barriers and never scanned.
+//
+// hop carries the flit's decoded next hop at the receiving router
+// (outPort<<8|outVC), computed at emission time — when the sender is
+// already touching the flit's arena lines — so head-arrival at the
+// receiver costs no arena loads at all. headEmpty means "decode at
+// head-arrival": the sentinel for Revisable flits, whose route may be
+// rewritten (and whose routeRNG draw must happen) exactly when they
+// reach the head of a buffer.
 type event struct {
-	flit *Flit
+	flit int32
 	r    int32
+	rw   uint64 // packed remaining-route word (see rwCntShift)
 	port int8
 	vc   int8
+	hop  uint16
 }
 
-// Network is a runnable simulation instance.
+// Network is a runnable simulation instance. Router state is held in
+// flat parallel arrays indexed by switch id (struct-of-arrays, like
+// the flit arena) rather than per-router structs: the allocator's hot
+// scan walks contiguous memory.
 type Network struct {
 	T   *topo.Topology
 	Cfg Config
@@ -262,14 +347,109 @@ type Network struct {
 	routing RoutingFunc
 	pattern traffic.Pattern
 	rate    float64
+	// logq caches log(1-rate), the denominator of the geometric
+	// inter-arrival draw. Only the denominator is hoisted — folding
+	// it into a reciprocal multiply would change float rounding and
+	// break bit-reproducibility against earlier builds.
+	logq float64
+	// fixedDest[src] is the precomputed destination for Deterministic
+	// patterns (-1 when the source is silent); nil for random
+	// patterns. Deterministic Dest implementations never touch the
+	// traffic RNG, so the table preserves the draw sequence exactly.
+	fixedDest []int32
 
-	now     int64
-	routers []router
+	now int64
+
+	// Cached topology dimensions (avoids method calls in the loop).
+	ports, numVCs, nonTerm int
+
+	// fa is the flit arena; scratch is the reusable routing-boundary
+	// view materialized around SourceRoute/Revise calls. Both are
+	// touched only on the sequential phases (injection, revision), so
+	// sharing them across shards is safe.
+	fa      flitArena
+	scratch Flit
+
+	// Per-switch allocator scan state. portMask[sw] has bit p set when
+	// port p buffers any flit; vcMask[sw*ports+p] has bit v set when
+	// input queue (p, v) is non-empty.
+	portMask []uint64
+	vcMask   []uint16
+	// inOcc[sw*ports+p] is the port's total buffered flit count: the
+	// quantity UGAL-G reads remotely.
+	inOcc []int32
+	// credits[(sw*nonTerm+(p-P))*numVCs+v] tracks free downstream
+	// slots for each non-terminal out-port.
+	credits []int16
+	// ovcOwner[(sw*nonTerm+(p-P))*numVCs+v] is the head-flit slot
+	// holding the output VC in wormhole mode (-1 free); nil in
+	// single-flit mode. The head slot is a valid unique key for the
+	// whole ownership window because pending keeps it allocated until
+	// after the tail has passed (and cleared) every owned VC.
+	ovcOwner []int32
+	// inChan[sw*ports+p] is the upstream (router, port) feeding this
+	// input (r = -1 for terminal ports); used to return credits.
+	inChan []chanRef
+	// credDesc[sw*ports+p] flattens the credit-return chain of input
+	// port p — inChan lookup, out-channel index scaling and latency
+	// load — into one word: bit 63 validity, bits 0-31 the upstream
+	// out-channel's base credit index (oi*numVCs), bits 32-47 the
+	// reverse-channel latency, bits 48-62 the upstream shard. Zero for
+	// terminal inputs (no upstream, no credit).
+	credDesc []uint64
+	// outPeer[sw*nonTerm+(p-P)] is the downstream (router, in-port) of
+	// each non-terminal out-port; outLat its channel latency.
+	outPeer []chanRef
+	outLat  []int16
+	// rrPort[sw] rotates input arbitration priority (stored already
+	// wrapped to [0, ports)); nowVC caches now % numVCs per cycle.
+	rrPort []int32
+	nowVC  int32
+	// flits[sw] counts all buffered flits (skip idle routers fast).
+	flits []int32
+
+	// Input queues are ring buffers in per-shard arenas (simShard.ring)
+	// with one power-of-two capacity rbCap derived from Cfg.BufSize.
+	// Queue g = (sw*ports+p)*numVCs+v packs its head entry into
+	// qMeta[g]: free-running uint8 head and tail cursors (bits 0-7,
+	// 8-15; BufSize is capped at 128 so the cursor difference is
+	// unambiguous), the head flit's decoded next hop (bits 16-31,
+	// outPort<<8|outVC, headEmpty when empty) and its arena slot
+	// (bits 32-63). qRW[g] holds the head flit's packed route word.
+	//
+	// The two arrays are deliberately parallel rather than
+	// interleaved: an allocator probe reads only qMeta[g], so qMeta
+	// stays dense enough to live in L2 for the largest topologies,
+	// while qRW is touched only by push/pop/forward. Entries behind
+	// the head live as word pairs (slot|hop<<32, rw) at
+	// ring[2*((g-shard.ringBase)<<qShift ...)] inside the owning
+	// shard's arena.
+	qMeta  []uint64
+	qRW    []uint64
+	rbMask uint32
+	qShift uint
+
 	// wheel is the sequential stepper's single timing wheel; the
 	// sharded stepper leaves it empty and gives each shard its own
-	// segment instead. wheelLen is the common wheel length.
+	// segment instead. wheelLen is the common wheel length; nowSlot
+	// caches now % wheelLen per cycle so the per-event slot reduction
+	// is an add and a compare instead of a 64-bit divide (wheelLen is
+	// not a compile-time constant, so % compiles to hardware DIV —
+	// measurable at thousands of schedule/credit calls per cycle).
 	wheel    [][]event
 	wheelLen int
+	nowSlot  int32
+	// creditWheel is the sequential stepper's credit-return wheel:
+	// buckets of bare credit indices. Credit delivery is a commutative
+	// increment, so credits skip the event machinery entirely — a
+	// 4-byte entry and a branch-free drain loop instead of a 12-byte
+	// event (sharded stepping uses the per-shard cwheel/coutbox
+	// equivalents). Only valid when fastCredits is set: an in-flight
+	// reviser (PAR) observes credit state mid-delivery through
+	// Revise, so its credits must stay interleaved with flit events
+	// in their original emission order.
+	creditWheel [][]int32
+	fastCredits bool
 
 	// shards is the static contiguous router partition (always at
 	// least one entry; exactly one when stepping sequentially). Each
@@ -289,7 +469,7 @@ type Network struct {
 	// lists nodes with non-empty source queues (sorted ascending), so
 	// inject visits O(active) nodes instead of all of them; srcNext
 	// is the double buffer srcActive is rebuilt into each cycle.
-	nodeQ     []fifo
+	nodeQ     []ringQ
 	nextGen   []int64
 	genCal    genCalendar
 	srcActive []int32
@@ -297,8 +477,6 @@ type Network struct {
 
 	trafficRNG *rng.Source
 	routeRNG   *rng.Source
-
-	nextID int64
 
 	// Accounting.
 	injected    int64 // entered a source queue
@@ -321,8 +499,6 @@ type Network struct {
 	// switch-to-switch channel during the measurement window (only
 	// when Cfg.CollectChanStats).
 	chanCount []int64
-
-	freeFlits []*Flit
 }
 
 // ChannelStats summarizes per-channel utilization over the
@@ -341,6 +517,11 @@ type ChannelStats struct {
 func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate float64) *Network {
 	if cfg.NumVCs < 1 || cfg.BufSize < 1 || cfg.SpeedUp < 1 {
 		panic("netsim: invalid config")
+	}
+	if cfg.BufSize > 128 {
+		// qMeta's free-running uint8 ring cursors need the capacity
+		// strictly below 256 to keep head==tail unambiguous.
+		panic("netsim: BufSize above 128 unsupported by the packed queue metadata")
 	}
 	if cfg.PacketSize == 0 {
 		cfg.PacketSize = 1
@@ -366,6 +547,22 @@ func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate
 		measEnd:    math.MaxInt64,
 		measHist:   stats.NewHistogram(5, 400), // 5-cycle buckets to 2000
 	}
+	if ir, ok := rf.(InFlightReviser); ok && !ir.RevisesInFlight() {
+		n.fastCredits = true
+	}
+	if rate > 0 && rate < 1 {
+		n.logq = math.Log(1 - rate)
+	}
+	if det, ok := pat.(traffic.Deterministic); ok {
+		n.fixedDest = make([]int32, t.NumNodes())
+		for src := range n.fixedDest {
+			if d := det.DestOf(src); d != src {
+				n.fixedDest[src] = int32(d)
+			} else {
+				n.fixedDest[src] = -1
+			}
+		}
+	}
 	n.build()
 	return n
 }
@@ -374,50 +571,60 @@ func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate
 func (n *Network) build() {
 	t := n.T
 	sw := t.NumSwitches()
-	ports := t.Radix()
-	nonTerm := ports - t.P
+	n.ports = t.Radix()
+	n.numVCs = n.Cfg.NumVCs
+	n.nonTerm = n.ports - t.P
 	maxLat := n.Cfg.GlobalLatency
 	if n.Cfg.LocalLatency > maxLat {
 		maxLat = n.Cfg.LocalLatency
 	}
 	n.wheelLen = maxLat + 2
 	n.wheel = make([][]event, n.wheelLen)
-	n.routers = make([]router, sw)
-	if ports > 64 {
+	n.creditWheel = make([][]int32, n.wheelLen)
+	if n.ports > 64 {
 		panic("netsim: switch radix above 64 unsupported by the port-mask allocator")
 	}
-	if n.Cfg.NumVCs > 16 {
+	if n.numVCs > 16 {
 		panic("netsim: more than 16 VCs unsupported by the vc-mask allocator")
 	}
-	for i := 0; i < sw; i++ {
-		rt := &n.routers[i]
-		rt.id = int32(i)
-		rt.in = make([]fifo, ports*n.Cfg.NumVCs)
-		rt.vcMask = make([]uint16, ports)
-		rt.headCache = make([]uint16, ports*n.Cfg.NumVCs)
-		for c := range rt.headCache {
-			rt.headCache[c] = headEmpty
-		}
-		rt.inOcc = make([]int32, ports)
-		rt.credits = make([]int16, nonTerm*n.Cfg.NumVCs)
-		for c := range rt.credits {
-			rt.credits[c] = int16(n.Cfg.BufSize)
-		}
-		if n.Cfg.PacketSize > 1 {
-			rt.ovcOwner = make([]int64, nonTerm*n.Cfg.NumVCs)
-			for c := range rt.ovcOwner {
-				rt.ovcOwner[c] = -1
-			}
-		}
-		rt.inChan = make([]chanRef, ports)
-		rt.outPeer = make([]chanRef, nonTerm)
-		rt.outLat = make([]int16, nonTerm)
-		for pt := range rt.inChan {
-			rt.inChan[pt] = chanRef{r: -1}
+	// Ring-buffer capacity: BufSize rounded up to a power of two, so
+	// queue positions are one shift+mask.
+	rbCap := uint32(1)
+	n.qShift = 0
+	for int(rbCap) < n.Cfg.BufSize {
+		rbCap <<= 1
+		n.qShift++
+	}
+	n.rbMask = rbCap - 1
+
+	n.portMask = make([]uint64, sw)
+	n.vcMask = make([]uint16, sw*n.ports)
+	n.qMeta = make([]uint64, sw*n.ports*n.numVCs)
+	for i := range n.qMeta {
+		n.qMeta[i] = qmEmpty
+	}
+	n.qRW = make([]uint64, len(n.qMeta))
+	n.inOcc = make([]int32, sw*n.ports)
+	n.credits = make([]int16, sw*n.nonTerm*n.numVCs)
+	for i := range n.credits {
+		n.credits[i] = int16(n.Cfg.BufSize)
+	}
+	if n.Cfg.PacketSize > 1 {
+		n.ovcOwner = make([]int32, sw*n.nonTerm*n.numVCs)
+		for i := range n.ovcOwner {
+			n.ovcOwner[i] = -1
 		}
 	}
+	n.inChan = make([]chanRef, sw*n.ports)
+	for i := range n.inChan {
+		n.inChan[i] = chanRef{r: -1}
+	}
+	n.outPeer = make([]chanRef, sw*n.nonTerm)
+	n.outLat = make([]int16, sw*n.nonTerm)
+	n.rrPort = make([]int32, sw)
+	n.flits = make([]int32, sw)
+
 	for u := 0; u < sw; u++ {
-		rt := &n.routers[u]
 		// Local channels.
 		for idx := 0; idx < t.A; idx++ {
 			v := (u/t.A)*t.A + idx
@@ -426,9 +633,9 @@ func (n *Network) build() {
 			}
 			pt := t.LocalPort(u, v)
 			peerPt := t.LocalPort(v, u)
-			rt.outPeer[pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
-			rt.outLat[pt-t.P] = int16(n.Cfg.LocalLatency)
-			n.routers[v].inChan[peerPt] = chanRef{r: int32(u), port: int8(pt)}
+			n.outPeer[u*n.nonTerm+pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
+			n.outLat[u*n.nonTerm+pt-t.P] = int16(n.Cfg.LocalLatency)
+			n.inChan[v*n.ports+peerPt] = chanRef{r: int32(u), port: int8(pt)}
 		}
 		// Global channels.
 		for gp := 0; gp < t.H; gp++ {
@@ -436,16 +643,26 @@ func (n *Network) build() {
 			pgp := t.GlobalPeerPort(u, gp)
 			pt := t.GlobalPort(gp)
 			peerPt := t.GlobalPort(pgp)
-			rt.outPeer[pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
-			rt.outLat[pt-t.P] = int16(n.Cfg.GlobalLatency)
-			n.routers[v].inChan[peerPt] = chanRef{r: int32(u), port: int8(pt)}
+			n.outPeer[u*n.nonTerm+pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}
+			n.outLat[u*n.nonTerm+pt-t.P] = int16(n.Cfg.GlobalLatency)
+			n.inChan[v*n.ports+peerPt] = chanRef{r: int32(u), port: int8(pt)}
 		}
 	}
 	n.buildShards()
+	n.credDesc = make([]uint64, sw*n.ports)
+	for pi, up := range n.inChan {
+		if up.r < 0 {
+			continue
+		}
+		oi := int(up.r)*n.nonTerm + int(up.port) - t.P
+		n.credDesc[pi] = 1<<63 | uint64(uint32(oi*n.numVCs)) |
+			uint64(uint16(n.outLat[oi]))<<32 |
+			uint64(uint32(up.r/n.shardSize))<<48
+	}
 	nodes := t.NumNodes()
-	n.nodeQ = make([]fifo, nodes)
+	n.nodeQ = make([]ringQ, nodes)
 	n.nextGen = make([]int64, nodes)
-	n.genCal.init()
+	n.genCal.init(t.NumNodes())
 	n.srcActive = make([]int32, 0, nodes)
 	n.srcNext = make([]int32, 0, nodes)
 	for i := range n.nextGen {
@@ -471,7 +688,7 @@ func (n *Network) geomNext(after int64) int64 {
 	if u <= 0 {
 		u = 1e-18
 	}
-	gap := int64(math.Floor(math.Log(u)/math.Log(1-n.rate))) + 1
+	gap := int64(math.Floor(math.Log(u)/n.logq)) + 1
 	if gap < 1 {
 		gap = 1
 	}
@@ -504,47 +721,37 @@ func (n *Network) Routing() RoutingFunc { return n.routing }
 // non-terminal out-port from local credit state: the information a
 // real router has, used by UGAL-L and PAR.
 func (n *Network) CreditOcc(sw int32, port int) int {
-	rt := &n.routers[sw]
-	base := (port - n.T.P) * n.Cfg.NumVCs
+	base := (int(sw)*n.nonTerm + port - n.T.P) * n.numVCs
 	free := 0
-	for v := 0; v < n.Cfg.NumVCs; v++ {
-		free += int(rt.credits[base+v])
+	for v := 0; v < n.numVCs; v++ {
+		free += int(n.credits[base+v])
 	}
-	return n.Cfg.NumVCs*n.Cfg.BufSize - free
+	return n.numVCs*n.Cfg.BufSize - free
 }
 
 // DownstreamOcc returns the true buffered occupancy of the input
 // buffer fed by out-port port of switch sw: the oracle information
 // UGAL-G assumes.
 func (n *Network) DownstreamOcc(sw int32, port int) int {
-	rt := &n.routers[sw]
-	peer := rt.outPeer[port-n.T.P]
-	return int(n.routers[peer.r].inOcc[peer.port])
+	peer := n.outPeer[int(sw)*n.nonTerm+port-n.T.P]
+	return int(n.inOcc[int(peer.r)*n.ports+int(peer.port)])
 }
 
-// allocFlit takes a flit from the free list or allocates one.
-func (n *Network) allocFlit() *Flit {
-	if k := len(n.freeFlits); k > 0 {
-		f := n.freeFlits[k-1]
-		n.freeFlits = n.freeFlits[:k-1]
-		route := f.Route[:0]
-		*f = Flit{Route: route}
-		return f
-	}
-	return &Flit{}
+// queueLen returns the buffered flit count of input queue (port, vc)
+// of switch sw (tests and the injection backpressure check).
+func (n *Network) queueLen(sw, port, vc int) int {
+	m := n.qMeta[(sw*n.ports+port)*n.numVCs+vc]
+	return int(uint8(m>>8) - uint8(m))
 }
 
-func (n *Network) freeFlit(f *Flit) {
-	if len(n.freeFlits) < 1<<16 {
-		n.freeFlits = append(n.freeFlits, f)
-	}
-}
+// shardOf returns the shard owning switch sw.
+func (n *Network) shardOf(sw int32) *simShard { return &n.shards[sw/n.shardSize] }
 
 // audit verifies flit conservation; used by tests.
 func (n *Network) audit() (inFlight int64, err error) {
 	var buffered int64
-	for i := range n.routers {
-		buffered += int64(n.routers[i].flits)
+	for _, c := range n.flits {
+		buffered += int64(c)
 	}
 	var queued int64
 	for i := range n.nodeQ {
@@ -553,7 +760,7 @@ func (n *Network) audit() (inFlight int64, err error) {
 	var wheeled int64
 	for _, bucket := range n.wheel {
 		for _, ev := range bucket {
-			if ev.flit != nil {
+			if ev.flit >= 0 {
 				wheeled++
 			}
 		}
@@ -564,14 +771,14 @@ func (n *Network) audit() (inFlight int64, err error) {
 		sh := &n.shards[s]
 		for _, bucket := range sh.wheel {
 			for _, ev := range bucket {
-				if ev.flit != nil {
+				if ev.flit >= 0 {
 					wheeled++
 				}
 			}
 		}
 		for _, box := range sh.outbox {
 			for _, oe := range box {
-				if oe.ev.flit != nil {
+				if oe.ev.flit >= 0 {
 					wheeled++
 				}
 			}
@@ -581,6 +788,15 @@ func (n *Network) audit() (inFlight int64, err error) {
 	if n.injected != n.delivered+inFlight+n.refusedInj {
 		return inFlight, fmt.Errorf("netsim: conservation violated: injected=%d delivered=%d inflight=%d refused=%d",
 			n.injected, n.delivered, inFlight, n.refusedInj)
+	}
+	// Arena cross-check: every in-flight flit holds a live slot. With
+	// single-flit packets the two counts are equal; in wormhole mode a
+	// head slot legitimately outlives its own ejection while pending
+	// body flits remain (the headOf invariant), so live may exceed
+	// in-flight there but never trail it.
+	live := int64(n.fa.live())
+	if live < inFlight || (n.Cfg.PacketSize == 1 && live != inFlight) {
+		return inFlight, fmt.Errorf("netsim: arena leak: %d live slots, %d flits in flight", live, inFlight)
 	}
 	return inFlight, nil
 }

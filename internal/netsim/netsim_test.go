@@ -149,7 +149,7 @@ func TestDownstreamOccMatchesBuffers(t *testing.T) {
 		n.step()
 	}
 	total := 0
-	for sw := range n.routers {
+	for sw := 0; sw < tp.NumSwitches(); sw++ {
 		for pt := tp.P; pt < tp.Radix(); pt++ {
 			total += n.DownstreamOcc(int32(sw), pt)
 		}
@@ -157,9 +157,9 @@ func TestDownstreamOccMatchesBuffers(t *testing.T) {
 	// Sum of downstream occupancies equals all switch-to-switch
 	// buffered flits (terminal-port buffers excluded).
 	var buffered int
-	for i := range n.routers {
+	for sw := 0; sw < tp.NumSwitches(); sw++ {
 		for pt := tp.P; pt < tp.Radix(); pt++ {
-			buffered += int(n.routers[i].inOcc[pt])
+			buffered += int(n.inOcc[sw*tp.Radix()+pt])
 		}
 	}
 	if total != buffered {
@@ -194,11 +194,10 @@ func TestBufferBoundsRespected(t *testing.T) {
 		if i%250 != 0 {
 			continue
 		}
-		for sw := range n.routers {
-			rt := &n.routers[sw]
+		for sw := 0; sw < tp.NumSwitches(); sw++ {
 			for pt := 0; pt < tp.Radix(); pt++ {
 				for vc := 0; vc < cfg.NumVCs; vc++ {
-					if l := rt.in[pt*cfg.NumVCs+vc].len(); l > cfg.BufSize {
+					if l := n.queueLen(sw, pt, vc); l > cfg.BufSize {
 						t.Fatalf("buffer overflow: switch %d port %d vc %d len %d > %d",
 							sw, pt, vc, l, cfg.BufSize)
 					}

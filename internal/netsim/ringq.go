@@ -1,0 +1,66 @@
+package netsim
+
+// ringQ is a growable ring buffer of flit-arena slots, used for the
+// per-node source queues (input buffers use the fixed-capacity
+// per-shard ring arenas instead — their depth is bounded by BufSize).
+// Capacity is always a power of two and the head/tail cursors run
+// free as uint32s, so a queue position is one mask — no compaction,
+// no shifting, unlike the slice-backed fifo this replaced, whose
+// load-bearing compaction heuristic was never directly tested. The
+// zero value is an empty queue; the first push allocates.
+type ringQ struct {
+	buf        []int32
+	head, tail uint32
+}
+
+// len returns the number of queued slots. Free-running cursors make
+// this exact under uint32 wraparound as long as the queue holds fewer
+// than 2^32 entries, which sourceQueueCap guarantees.
+func (q *ringQ) len() int { return int(q.tail - q.head) }
+
+// push appends a slot at the tail, growing when full.
+func (q *ringQ) push(v int32) {
+	if q.len() == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail&uint32(len(q.buf)-1)] = v
+	q.tail++
+}
+
+// pop removes and returns the head slot. The queue must be non-empty:
+// every caller guards with len() (an empty pop would silently hand
+// out a stale slot, so misuse is the caller's bug to keep impossible,
+// not a condition to mask here).
+func (q *ringQ) pop() int32 {
+	v := q.buf[q.head&uint32(len(q.buf)-1)]
+	q.head++
+	return v
+}
+
+// peek returns the head slot without removing it, or -1 when empty
+// (-1 is never a valid arena slot).
+func (q *ringQ) peek() int32 {
+	if q.head == q.tail {
+		return -1
+	}
+	return q.buf[q.head&uint32(len(q.buf)-1)]
+}
+
+// grow doubles capacity (starting at 8), unwrapping the live window
+// to the front of the new buffer and resetting the cursors — cursor
+// values are not preserved across growth, only queue contents and
+// order.
+func (q *ringQ) grow() {
+	nc := len(q.buf) * 2
+	if nc == 0 {
+		nc = 8
+	}
+	nb := make([]int32, nc)
+	live := q.len()
+	for i := 0; i < live; i++ {
+		nb[i] = q.buf[(q.head+uint32(i))&uint32(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+	q.tail = uint32(live)
+}

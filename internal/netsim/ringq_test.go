@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// Property test for ringQ, the growable power-of-two ring backing the
+// per-node source queues. The slice-backed fifo it replaced relied on
+// an untested compaction heuristic in pop; here every behavior —
+// growth, wraparound of the buffer index, free-running uint32 cursor
+// overflow — is checked against a naive slice model under randomized
+// operation sequences, including the burst push / drain-all shape the
+// degraded-refusal drop path (refusePacket) produces.
+
+// ringModel is the obviously-correct reference: a slice with O(n)
+// pops.
+type ringModel struct{ s []int32 }
+
+func (m *ringModel) push(v int32) { m.s = append(m.s, v) }
+func (m *ringModel) pop() int32   { v := m.s[0]; m.s = m.s[1:]; return v }
+func (m *ringModel) peek() int32 {
+	if len(m.s) == 0 {
+		return -1
+	}
+	return m.s[0]
+}
+
+func checkRingAgainstModel(t *testing.T, r *rng.Source, q *ringQ, steps int) {
+	t.Helper()
+	var m ringModel
+	next := int32(0)
+	for i := 0; i < steps; i++ {
+		switch op := r.Intn(10); {
+		case op < 4: // push
+			q.push(next)
+			m.push(next)
+			next++
+		case op < 5: // burst push, the generation shape of wormhole
+			// packets (head + bodies pushed back to back) — the case
+			// that forces growth mid-sequence.
+			k := 2 + r.Intn(6)
+			for j := 0; j < k; j++ {
+				q.push(next)
+				m.push(next)
+				next++
+			}
+		case op < 8: // pop (guarded like every production caller)
+			if q.len() > 0 {
+				got, want := q.pop(), m.pop()
+				if got != want {
+					t.Fatalf("step %d: pop = %d, model %d", i, got, want)
+				}
+			}
+		case op < 9: // drain-all, the refusePacket shape: peek-guarded
+			// pops until the head changes ownership (here: empty).
+			for q.peek() >= 0 {
+				got, want := q.pop(), m.pop()
+				if got != want {
+					t.Fatalf("step %d: drain pop = %d, model %d", i, got, want)
+				}
+			}
+		default: // peek
+			if got, want := q.peek(), m.peek(); got != want {
+				t.Fatalf("step %d: peek = %d, model %d", i, got, want)
+			}
+		}
+		if q.len() != len(m.s) {
+			t.Fatalf("step %d: len = %d, model %d", i, q.len(), len(m.s))
+		}
+	}
+	// Drain what's left: contents and order must match exactly.
+	for len(m.s) > 0 {
+		if q.len() == 0 {
+			t.Fatalf("queue empty with %d modeled entries left", len(m.s))
+		}
+		if got, want := q.pop(), m.pop(); got != want {
+			t.Fatalf("final drain: pop = %d, model %d", got, want)
+		}
+	}
+	if q.len() != 0 || q.peek() != -1 {
+		t.Fatalf("drained queue reports len=%d peek=%d", q.len(), q.peek())
+	}
+}
+
+func TestRingQProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		var q ringQ
+		checkRingAgainstModel(t, rng.New(seed), &q, 4000)
+	}
+}
+
+// TestRingQCursorWrap starts the free-running cursors just below the
+// uint32 wrap point: len(), position masking and growth's unwrapping
+// copy must all survive head/tail overflowing to zero mid-sequence.
+func TestRingQCursorWrap(t *testing.T) {
+	var q ringQ
+	q.push(0) // allocate the initial buffer
+	q.pop()
+	q.head = math.MaxUint32 - 7
+	q.tail = q.head
+	checkRingAgainstModel(t, rng.New(99), &q, 2000)
+}
+
+// TestRefusePacketDropsWholePacket pins the degraded-refusal drop
+// path on the ring-backed source queue: refusing a popped head must
+// also pop exactly its own body flits (contiguous behind it), leave
+// the next packet queued, and return every dropped slot to the arena
+// free list.
+func TestRefusePacketDropsWholePacket(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	cfg := DefaultConfig()
+	cfg.PacketSize = 4
+	n := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0)
+	fa := &n.fa
+	freeBefore := len(fa.free)
+
+	mkPacket := func(q *ringQ, size int) int32 {
+		head := fa.alloc()
+		fa.rec[head].headOf = -1
+		fa.rec[head].pending = int32(size)
+		q.push(head)
+		for k := 1; k < size; k++ {
+			b := fa.alloc()
+			fa.rec[b].headOf = head
+			fa.rec[b].pending = 0
+			q.push(b)
+		}
+		return head
+	}
+
+	q := &n.nodeQ[0]
+	doomed := mkPacket(q, 4)
+	second := mkPacket(q, 4)
+
+	f := q.pop() // the production path refuses an already-popped head
+	if f != doomed {
+		t.Fatalf("popped %d, want the first head %d", f, doomed)
+	}
+	n.refusePacket(f, q, true)
+
+	if got := q.len(); got != 4 {
+		t.Fatalf("queue holds %d flits after refusal, want the 4 of the second packet", got)
+	}
+	if got := q.peek(); got != second {
+		t.Fatalf("queue head after refusal = %d, want second packet's head %d", got, second)
+	}
+	if got, want := len(fa.free), freeBefore+4; got != want {
+		t.Fatalf("free list holds %d slots, want %d (all 4 dropped flits returned)", got, want)
+	}
+	if n.measRefused != 1 {
+		t.Fatalf("measRefused = %d, want 1", n.measRefused)
+	}
+	if n.refusedInj != 4 {
+		t.Fatalf("refusedInj = %d, want 4 (whole packet)", n.refusedInj)
+	}
+}

@@ -219,6 +219,8 @@ func (n *Network) RunConverged(warmup, window int64, relTol float64,
 // out across shards (see shard.go); results are bit-identical either
 // way.
 func (n *Network) step() {
+	n.nowVC = int32(n.now % int64(n.numVCs))
+	n.nowSlot = int32(n.now % int64(n.wheelLen))
 	if len(n.shards) > 1 {
 		n.stepSharded()
 	} else {
@@ -238,25 +240,36 @@ func (n *Network) stepSeq() {
 // deliverEvents processes the timing-wheel bucket for this cycle:
 // flit arrivals into input buffers and credit returns. The slot is
 // reduced in 64-bit arithmetic: cycle counts past 2^31 would
-// overflow a 32-bit int before the modulo.
+// overflow a 32-bit int before the modulo. Sequential stepper only,
+// so every router lives in the single shard 0.
 func (n *Network) deliverEvents() {
-	slot := int(n.now % int64(n.wheelLen))
+	slot := int(n.nowSlot)
+	cb := n.creditWheel[slot]
+	for _, ci := range cb {
+		n.credits[ci]++
+	}
+	n.creditWheel[slot] = cb[:0]
 	bucket := n.wheel[slot]
+	sh := &n.shards[0]
 	for i := range bucket {
-		ev := &bucket[i]
-		rt := &n.routers[ev.r]
-		if ev.flit != nil {
-			n.enqueue(rt, int(ev.port), int(ev.vc), ev.flit)
-			ev.flit = nil
+		ev := bucket[i]
+		if ev.flit >= 0 {
+			n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), ev.flit, ev.hop, ev.rw)
 		} else {
-			rt.credits[(int(ev.port)-n.T.P)*n.Cfg.NumVCs+int(ev.vc)]++
+			// Interleaved credit of an in-flight reviser (see
+			// returnCredit).
+			n.credits[(int(ev.r)*n.nonTerm+int(ev.port)-n.T.P)*n.numVCs+int(ev.vc)]++
 		}
 	}
 	n.wheel[slot] = bucket[:0]
 }
 
-// headEmpty marks an empty input buffer in the head cache.
-const headEmpty = 0xffff
+// headEmpty marks an empty input buffer in the hop field of qMeta;
+// qmEmpty is that field in word position.
+const (
+	headEmpty        = 0xffff
+	qmEmpty   uint64 = headEmpty << 16
+)
 
 // sourceQueueCap bounds per-node source queues. A 512-deep queue at
 // any sustainable rate implies a queueing delay far above the
@@ -264,58 +277,118 @@ const headEmpty = 0xffff
 // it only bounds memory on deeply oversubscribed runs.
 const sourceQueueCap = 512
 
-// enqueue pushes a flit into an input buffer, maintaining occupancy
-// counters, scan masks and the head cache. PAR revision fires when
-// the flit becomes the buffer head (the point a progressive router
-// recomputes the route).
-func (n *Network) enqueue(rt *router, port, vc int, f *Flit) {
-	slot := port*n.Cfg.NumVCs + vc
-	q := &rt.in[slot]
-	q.push(f)
-	rt.inOcc[port]++
-	rt.flits++
-	if rt.flits == 1 {
-		n.markActive(rt.id)
+// enqueue pushes flit slot f into input buffer (port, vc) of switch
+// sw, maintaining occupancy counters, scan masks and the head cache.
+// sw must belong to shard sh (whose ring arena backs the queue). hop
+// is the flit's pre-decoded next hop at this router (headEmpty for
+// the lazy Revisable path). PAR revision fires when the flit becomes
+// the buffer head (the point a progressive router recomputes the
+// route).
+func (n *Network) enqueue(sh *simShard, sw int32, port, vc int, f int32, hop uint16, rw uint64) {
+	pi := int(sw)*n.ports + port
+	g := pi*n.numVCs + vc
+	m := n.qMeta[g]
+	head, tail := uint8(m), uint8(m>>8)
+	n.inOcc[pi]++
+	n.flits[sw]++
+	if n.flits[sw] == 1 {
+		n.markActive(sw)
 	}
-	rt.vcMask[port] |= 1 << vc
-	rt.portMask |= 1 << port
-	if q.len() == 1 {
-		n.refreshHead(rt, slot, f)
+	n.vcMask[pi] |= 1 << vc
+	n.portMask[sw] |= 1 << port
+	if head == tail {
+		// Empty queue: the new head lives entirely in qMeta/qRW —
+		// the ring arena is untouched below depth 2, which is what
+		// keeps low-load traffic out of the (large) ring arrays.
+		if hop == headEmpty {
+			hop = n.headVal(sw, f)
+		}
+		n.qMeta[g] = uint64(head) | uint64(tail+1)<<8 | uint64(hop)<<16 | uint64(uint32(f))<<32
+		n.qRW[g] = rw
+	} else {
+		ri := ((g-int(sh.ringBase))<<n.qShift + int(tail)&int(n.rbMask)) * 2
+		sh.ring[ri] = uint64(uint32(f)) | uint64(hop)<<32
+		sh.ring[ri+1] = rw
+		n.qMeta[g] = m&^(0xff<<8) | uint64(tail+1)<<8
 	}
 }
 
-// dequeue pops the head of an input buffer, maintaining counters,
-// masks and the head cache.
-func (n *Network) dequeue(rt *router, port, vc int) *Flit {
-	slot := port*n.Cfg.NumVCs + vc
-	q := &rt.in[slot]
-	f := q.pop()
-	rt.inOcc[port]--
-	rt.flits--
-	if rt.flits == 0 {
-		n.clearActive(rt.id)
+// dequeue pops the head of input buffer (port, vc) of switch sw,
+// maintaining counters, masks and the head cache.
+func (n *Network) dequeue(sh *simShard, sw int32, port, vc int) (int32, uint64) {
+	pi := int(sw)*n.ports + port
+	g := pi*n.numVCs + vc
+	m := n.qMeta[g]
+	head, tail := uint8(m), uint8(m>>8)
+	f := int32(uint32(m >> 32))
+	rw := n.qRW[g]
+	head++
+	n.inOcc[pi]--
+	n.flits[sw]--
+	if n.flits[sw] == 0 {
+		n.clearActive(sw)
 	}
-	if next := q.peek(); next != nil {
-		n.refreshHead(rt, slot, next)
+	if head != tail {
+		// Promote the next ring entry pair into the qMeta/qRW head
+		// cache — the only ring read on the pop path.
+		ri := ((g-int(sh.ringBase))<<n.qShift + int(head)&int(n.rbMask)) * 2
+		next := sh.ring[ri]
+		hop := uint16(next >> 32)
+		if hop == headEmpty {
+			hop = n.headVal(sw, int32(uint32(next)))
+		}
+		n.qMeta[g] = uint64(head) | uint64(tail)<<8 | uint64(hop)<<16 | uint64(uint32(next))<<32
+		n.qRW[g] = sh.ring[ri+1]
 	} else {
-		rt.headCache[slot] = headEmpty
-		rt.vcMask[port] &^= 1 << vc
-		if rt.vcMask[port] == 0 {
-			rt.portMask &^= 1 << port
+		n.qMeta[g] = uint64(head) | uint64(tail)<<8 | qmEmpty
+		n.vcMask[pi] &^= 1 << vc
+		if n.vcMask[pi] == 0 {
+			n.portMask[sw] &^= 1 << port
 		}
 	}
-	return f
+	return f, rw
 }
 
-// refreshHead runs pending PAR revision for a flit that just became
-// a buffer head and caches its decoded next hop.
-func (n *Network) refreshHead(rt *router, slot int, f *Flit) {
-	if f.Revisable && f.HopIdx > 0 {
-		n.routing.Revise(n, n.routeRNG, f, rt.id)
-		f.Revisable = false
+// headVal runs pending PAR revision for flit slot f, which just
+// became the head of an input buffer at switch sw, and returns its
+// decoded next hop for the caller to store in the queue's head-cache
+// field. Body flits read the route through their head slot — kept
+// allocated by the packet's pending count — at their own hop index.
+func (n *Network) headVal(sw int32, f int32) uint16 {
+	fa := &n.fa
+	if fa.rec[f].flags&fRevisable != 0 && fa.rec[f].hopIdx > 0 {
+		n.reviseSlot(f, sw)
 	}
-	hop := f.route()[f.HopIdx]
-	rt.headCache[slot] = uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+	rs := f
+	if h := fa.rec[f].headOf; h >= 0 {
+		rs = h
+	}
+	hop := fa.rec[rs].route[fa.rec[f].hopIdx]
+	return uint16(uint8(hop.Port))<<8 | uint16(uint8(hop.VC))
+}
+
+// reviseSlot materializes the routing-boundary view of slot f around
+// a Revise call and writes the (possibly rewritten) route back into
+// the arena. Revisable flits only exist on the sequential stepper
+// (injectNode panics otherwise), so the shared scratch view is safe.
+func (n *Network) reviseSlot(f int32, sw int32) {
+	fa := &n.fa
+	v := &n.scratch
+	v.Src, v.Dst = fa.rec[f].src, fa.rec[f].dst
+	v.HopIdx = int32(fa.rec[f].hopIdx)
+	v.GenTime = fa.rec[f].genTime
+	v.Measured = fa.rec[f].flags&fMeasured != 0
+	v.MinRouted = fa.rec[f].flags&fMinRouted != 0
+	v.Revisable = true
+	v.Route = fa.routeOf(f)
+	n.routing.Revise(n, n.routeRNG, v, sw)
+	fa.setRoute(f, v.Route)
+	flags := fa.rec[f].flags &^ (fRevisable | fMinRouted)
+	if v.MinRouted {
+		flags |= fMinRouted
+	}
+	fa.rec[f].flags = flags
+	v.Route = nil
 }
 
 // schedule enqueues an event at now+delay. The timing wheel is sized
@@ -328,9 +401,10 @@ func (n *Network) schedule(delay int, ev event) {
 		panic(fmt.Sprintf("netsim: schedule delay %d outside timing wheel [0,%d); "+
 			"channel latencies must not change after New", delay, len(n.wheel)))
 	}
-	// 64-bit reduction before the int narrowing: on 32-bit platforms
-	// int(n.now + delay) overflows once the cycle count passes 2^31.
-	slot := int((n.now + int64(delay)) % int64(len(n.wheel)))
+	slot := int(n.nowSlot) + delay
+	if slot >= len(n.wheel) {
+		slot -= len(n.wheel)
+	}
 	n.wheel[slot] = append(n.wheel[slot], ev)
 }
 
@@ -379,6 +453,7 @@ func (n *Network) inject() {
 // nodes with queued flits, ascending) and returns the slice.
 func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 	t := n.T
+	fa := &n.fa
 	if due {
 		gen := n.nextGen[node]
 		// Far beyond saturation a source queue only adds latency
@@ -386,7 +461,15 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 		// capping it bounds memory without changing any
 		// pre-saturation statistic. Generation is skipped but the
 		// queue keeps draining below.
-		if dst, ok := n.pattern.Dest(n.trafficRNG, int(node)); ok && dst != int(node) &&
+		var dst int
+		var ok bool
+		if fd := n.fixedDest; fd != nil {
+			dst = int(fd[node])
+			ok = dst >= 0
+		} else {
+			dst, ok = n.pattern.Dest(n.trafficRNG, int(node))
+		}
+		if ok && dst != int(node) &&
 			n.nodeQ[node].len() < sourceQueueCap {
 			if fail := n.Cfg.Failures; fail != nil &&
 				(fail.SwitchDead(t.SwitchOfNode(int(node))) || fail.SwitchDead(t.SwitchOfNode(dst))) {
@@ -399,29 +482,37 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 				}
 			} else {
 				size := n.Cfg.PacketSize
-				head := n.allocFlit()
-				head.ID = n.nextID
-				n.nextID++
-				head.PktID = head.ID
-				head.Src, head.Dst = node, int32(dst)
-				head.GenTime = gen
-				head.pending = int32(size)
-				head.IsTail = size == 1
+				head := fa.alloc()
+				fa.rec[head].src, fa.rec[head].dst = node, int32(dst)
+				fa.rec[head].hopIdx = 0
+				fa.rec[head].genTime = gen
+				fa.rec[head].headOf = -1
+				fa.rec[head].pending = int32(size)
+				fa.rec[head].routeLen = 0
+				flags := uint16(0)
+				if size == 1 {
+					flags = fIsTail
+				}
 				if gen >= n.measBegin && gen < n.measEnd {
-					head.Measured = true
+					flags |= fMeasured
 					n.measCount++
 				}
+				fa.rec[head].flags = flags
 				n.nodeQ[node].push(head)
 				n.injected++
 				for k := 1; k < size; k++ {
-					b := n.allocFlit()
-					b.ID = n.nextID
-					n.nextID++
-					b.PktID = head.PktID
-					b.Src, b.Dst = head.Src, head.Dst
-					b.GenTime = gen
-					b.head = head
-					b.IsTail = k == size-1
+					b := fa.alloc()
+					fa.rec[b].src, fa.rec[b].dst = node, int32(dst)
+					fa.rec[b].hopIdx = 0
+					fa.rec[b].genTime = gen
+					fa.rec[b].headOf = head
+					fa.rec[b].pending = 0
+					fa.rec[b].routeLen = 0
+					if k == size-1 {
+						fa.rec[b].flags = fIsTail
+					} else {
+						fa.rec[b].flags = 0
+					}
 					n.nodeQ[node].push(b)
 					n.injected++
 				}
@@ -436,42 +527,71 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 		return nextActive
 	}
 	sw := int32(t.SwitchOfNode(int(node)))
-	rt := &n.routers[sw]
 	termPort := t.NodeIndex(int(node))
 	// Terminal channel: one flit per cycle into VC 0, bounded by
 	// the input buffer depth.
-	if rt.in[termPort*n.Cfg.NumVCs].len() >= n.Cfg.BufSize {
+	if n.queueLen(int(sw), termPort, 0) >= n.Cfg.BufSize {
 		return append(nextActive, node)
 	}
 	f := q.pop()
-	f.InjTime = n.now
-	if f.head == nil {
-		// Head flit: compute the packet's route now, from
-		// current source-router state.
-		n.routing.SourceRoute(n, n.routeRNG, f)
-		if n.Cfg.Failures != nil && (len(f.Route) == 0 || !n.routeAlive(sw, f)) {
+	if fa.rec[f].headOf < 0 {
+		// Head flit: compute the packet's route now, from current
+		// source-router state, directly into the slot's arena block.
+		v := &n.scratch
+		v.Src, v.Dst = fa.rec[f].src, fa.rec[f].dst
+		v.HopIdx = 0
+		v.GenTime = fa.rec[f].genTime
+		v.Measured = fa.rec[f].flags&fMeasured != 0
+		v.MinRouted, v.Revisable = false, false
+		v.Route = fa.routeBlock(f)
+		n.routing.SourceRoute(n, n.routeRNG, v)
+		if n.Cfg.Failures != nil && (len(v.Route) == 0 || !n.routeAlive(sw, v)) {
 			// The routing function found no surviving candidate (the
 			// empty-route refusal sentinel), or handed back a route
 			// crossing dead gear — refuse the whole packet here at the
 			// injection port rather than blackhole it mid-network.
-			n.refusePacket(f, q)
+			n.refusePacket(f, q, v.Measured)
+			v.Route = nil
 			if q.len() > 0 {
 				nextActive = append(nextActive, node)
 			}
 			return nextActive
 		}
-		if f.Revisable && len(n.shards) > 1 {
+		if v.Revisable && len(n.shards) > 1 {
 			panic("netsim: routing function declared RevisesInFlight()==false " +
 				"but produced a Revisable flit under the sharded stepper")
 		}
-		if f.Measured {
+		fa.setRoute(f, v.Route)
+		flags := fa.rec[f].flags
+		if v.MinRouted {
+			flags |= fMinRouted
+		}
+		if v.Revisable {
+			flags |= fRevisable
+		}
+		fa.rec[f].flags = flags
+		if v.Measured {
 			n.measInj++
-			if !f.MinRouted {
+			if !v.MinRouted {
 				n.measVLB++
 			}
 		}
+		v.Route = nil
 	}
-	n.enqueue(rt, termPort, 0, f)
+	// First-hop decode at injection: a head's own route was just
+	// written (line hot), a body reads its head's. Revision never
+	// fires at hop index 0, so Revisable heads decode directly too.
+	rs := f
+	if h := fa.rec[f].headOf; h >= 0 {
+		rs = h
+	}
+	r0 := fa.rec[rs].route[0]
+	hop := uint16(uint8(r0.Port))<<8 | uint16(uint8(r0.VC))
+	rw := rwSlow
+	if n.ovcOwner == nil && fa.rec[f].flags&fRevisable == 0 {
+		rw = fa.packRW(f, 1)
+	}
+	n.enqueue(n.shardOf(sw), sw, termPort, 0, f, hop, rw)
 	if q.len() > 0 {
 		nextActive = append(nextActive, node)
 	}
@@ -496,22 +616,24 @@ func (n *Network) routeAlive(sw int32, f *Flit) bool {
 	return !fail.SwitchDead(cur)
 }
 
-// refusePacket drops a popped head flit plus its body flits — still
-// contiguous behind it, since a packet is pushed whole at generation
-// — from a source queue, recording the refusal. Runs on the
-// sequential injection path only, so the counters stay deterministic
-// under sharding.
-func (n *Network) refusePacket(f *Flit, q *fifo) {
+// refusePacket drops a popped head flit slot plus its body flits —
+// still contiguous behind it, since a packet is pushed whole at
+// generation — from a source queue, recording the refusal. Runs on
+// the sequential injection path only, so the counters stay
+// deterministic under sharding. Body slots are released first, the
+// head last, mirroring arrival order in the free list.
+func (n *Network) refusePacket(f int32, q *ringQ, measured bool) {
+	fa := &n.fa
 	dropped := int64(1)
-	for q.len() > 0 && q.peek().head == f {
-		n.freeFlit(q.pop())
+	for q.len() > 0 && fa.rec[q.peek()].headOf == f {
+		fa.release(q.pop())
 		dropped++
 	}
-	if f.Measured {
+	if measured {
 		n.measRefused++
 	}
 	n.refusedInj += dropped
-	n.freeFlit(f)
+	fa.release(f)
 }
 
 // allocateShard performs switch allocation for every active router
@@ -539,44 +661,82 @@ func (n *Network) allocateShard(s int) {
 // sharded: into the destination shard's mailbox) or, for ejections,
 // the shard's ejection buffer — which is what makes the phase safe
 // to run concurrently across shards.
+//
+// The scan walks the occupancy masks: ports in rotated priority
+// order off portMask, then that port's non-empty VCs off vcMask,
+// rotated to the cycle's starting VC by a double-shift so the visit
+// order is exactly the sequential (vcStart + vi) % numVCs probe
+// order of the pre-arena implementation — bit-identity depends on it.
 func (n *Network) allocateRouter(swi int, sh *simShard) {
-	t := n.T
-	ports := t.Radix()
-	numVCs := n.Cfg.NumVCs
-	rt := &n.routers[swi]
+	termPorts := n.T.P
+	numVCs := n.numVCs
+	fa := &n.fa
 	var outUsed uint64
-	rt.rrPort++
-	rot := int(rt.rrPort) % ports
+	// rrPort is stored pre-wrapped so the rotation costs no divide.
+	rot := int(n.rrPort[swi]) + 1
+	if rot == n.ports {
+		rot = 0
+	}
+	n.rrPort[swi] = int32(rot)
 	// 64-bit reduction once per router (int(n.now) overflows 32-bit
 	// ints past 2^31, like the wheel-slot arithmetic).
-	nowVC := int(n.now % int64(numVCs))
+	nowVC := int(n.nowVC)
+	pBase := swi * n.ports
+	hBase := pBase * numVCs
+	cBase := swi * n.nonTerm * numVCs
+	oBase := swi * n.nonTerm
+	vcFull := uint32(1)<<numVCs - 1
+	// A port that granted nothing in one pass cannot grant in a later
+	// pass of the same cycle unless wormhole ownership or interleaved
+	// credit events can change mid-phase: its queue heads are
+	// untouched, outUsed only accumulates and credits only decrease
+	// during allocation. When neither applies, restricting each later
+	// pass to the previous pass's granting ports is exact, not a
+	// heuristic — it just skips probes that provably fail.
+	subset := ^uint64(0)
+	narrow := n.fastCredits && n.ovcOwner == nil
 	for pass := 0; pass < n.Cfg.SpeedUp; pass++ {
 		moved := false
-		// Scan occupied ports in rotated order: bits >= rot
-		// first, then the wrap-around.
+		var granted uint64
+		pm := n.portMask[swi] & subset
+		// Scan occupied ports in rotated order: bits >= rot first,
+		// then the wrap-around.
 		for _, m := range [2]uint64{
-			rt.portMask &^ (1<<rot - 1),
-			rt.portMask & (1<<rot - 1),
+			pm &^ (1<<rot - 1),
+			pm & (1<<rot - 1),
 		} {
 			for m != 0 {
 				port := trailingZeros(m)
 				m &= m - 1
-				vcStart := (port + nowVC) % numVCs
-				for vi := 0; vi < numVCs; vi++ {
-					vc := (vcStart + vi) % numVCs
-					head := rt.headCache[port*numVCs+vc]
-					if head == headEmpty {
-						continue
+				vcStart := port + nowVC
+				if vcStart >= numVCs {
+					vcStart %= numVCs
+				}
+				// Non-empty VCs of this port, rotated so that bit 0 is
+				// vcStart: set bits come off in the sequential probe
+				// order. The mask is a snapshot, but at most one grant
+				// leaves this loop per port per pass, so it never goes
+				// stale while scanned.
+				vm := uint32(n.vcMask[pBase+port])
+				rm := (vm>>vcStart | vm<<(numVCs-vcStart)) & vcFull
+				for rm != 0 {
+					vb := bits.TrailingZeros32(rm)
+					rm &= rm - 1
+					vc := vcStart + vb
+					if vc >= numVCs {
+						vc -= numVCs
 					}
+					qm := n.qMeta[hBase+port*numVCs+vc]
+					head := uint16(qm >> 16)
 					out := int(head >> 8)
 					if outUsed&(1<<out) != 0 {
 						continue
 					}
-					if out < t.P {
+					if out < termPorts {
 						// Ejection.
 						outUsed |= 1 << out
-						f := n.dequeue(rt, port, vc)
-						n.returnCredit(sh, rt, port, vc)
+						f, _ := n.dequeue(sh, int32(swi), port, vc)
+						n.returnCredit(sh, swi, port, vc)
 						if sh.wheel == nil {
 							n.deliver(f)
 						} else {
@@ -584,44 +744,77 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 						}
 					} else {
 						outVC := int(head & 0xff)
-						ci := (out-t.P)*numVCs + outVC
-						if rt.credits[ci] <= 0 {
+						ci := cBase + (out-termPorts)*numVCs + outVC
+						if n.credits[ci] <= 0 {
 							continue
 						}
-						if rt.ovcOwner != nil {
-							// Wormhole: heads acquire a free
-							// output VC; body/tail flits may only
-							// follow their own packet.
-							f := rt.in[port*numVCs+vc].peek()
-							owner := rt.ovcOwner[ci]
-							if f.head == nil {
+						if n.ovcOwner != nil {
+							// Wormhole: heads acquire a free output VC;
+							// body/tail flits may only follow their own
+							// packet (owner == their head's slot).
+							f := int32(uint32(qm >> 32))
+							owner := n.ovcOwner[ci]
+							if h := fa.rec[f].headOf; h < 0 {
 								if owner != -1 {
 									continue
 								}
-							} else if owner != f.PktID {
+							} else if owner != h {
 								continue
 							}
 						}
 						outUsed |= 1 << out
-						rt.credits[ci]--
-						f := n.dequeue(rt, port, vc)
-						n.returnCredit(sh, rt, port, vc)
-						f.HopIdx++
-						if rt.ovcOwner != nil {
-							if f.IsTail {
-								rt.ovcOwner[ci] = -1
-							} else if f.head == nil {
-								rt.ovcOwner[ci] = f.PktID
+						n.credits[ci]--
+						f, rw := n.dequeue(sh, int32(swi), port, vc)
+						n.returnCredit(sh, swi, port, vc)
+						var hop uint16
+						if rw&rwSlow == 0 {
+							// Fast flit: the next hop comes off the packed
+							// route word — the arena record is untouched
+							// between inject and eject.
+							cnt := int(rw>>rwCntShift) & 15
+							idx := int(rw>>rwIdxShift) & 31
+							if cnt == 0 {
+								// >6-hop route: the one mid-flight repack.
+								rw = fa.packRW(f, idx)
+								cnt = int(rw>>rwCntShift) & 15
+							}
+							h := uint32(rw) & 1023
+							hop = uint16(h&63)<<8 | uint16(h>>6)
+							rw = (rw&rwHopMask)>>10 | uint64(cnt-1)<<rwCntShift | uint64(idx+1)<<rwIdxShift
+						} else {
+							hi := fa.rec[f].hopIdx + 1
+							fa.rec[f].hopIdx = hi
+							if n.ovcOwner != nil {
+								if fa.rec[f].flags&fIsTail != 0 {
+									n.ovcOwner[ci] = -1
+								} else if fa.rec[f].headOf < 0 {
+									n.ovcOwner[ci] = f
+								}
+							}
+							// Decode the flit's next hop now, while its
+							// arena lines are hot, and ship it inside the
+							// event; Revisable flits get the lazy sentinel
+							// instead — their route (and routeRNG draw)
+							// must resolve at head-arrival time.
+							hop = headEmpty
+							if fa.rec[f].flags&fRevisable == 0 {
+								rs := f
+								if h := fa.rec[f].headOf; h >= 0 {
+									rs = h
+								}
+								nh := fa.rec[rs].route[hi]
+								hop = uint16(uint8(nh.Port))<<8 | uint16(uint8(nh.VC))
 							}
 						}
-						peer := rt.outPeer[out-t.P]
-						n.emit(sh, int(rt.outLat[out-t.P]), event{
-							flit: f, r: peer.r, port: peer.port, vc: int8(outVC),
+						peer := n.outPeer[oBase+out-termPorts]
+						n.emit(sh, int(n.outLat[oBase+out-termPorts]), event{
+							flit: f, r: peer.r, port: peer.port, vc: int8(outVC), hop: hop, rw: rw,
 						})
 						if n.chanCount != nil && n.now >= n.measBegin && n.now < n.measEnd {
-							n.chanCount[swi*(ports-t.P)+out-t.P]++
+							n.chanCount[oBase+out-termPorts]++
 						}
 					}
+					granted |= 1 << uint(port)
 					moved = true
 					break
 				}
@@ -629,6 +822,9 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 		}
 		if !moved {
 			break
+		}
+		if narrow {
+			subset = granted
 		}
 	}
 }
@@ -639,43 +835,75 @@ func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 // returnCredit sends a credit for the freed input slot back to the
 // upstream router (no-op for terminal inputs), through the emitting
 // shard's event sink — the upstream router may live in another shard.
-func (n *Network) returnCredit(sh *simShard, rt *router, port, vc int) {
-	up := rt.inChan[port]
-	if up.r < 0 {
+func (n *Network) returnCredit(sh *simShard, swi, port, vc int) {
+	desc := n.credDesc[swi*n.ports+port]
+	if desc == 0 {
 		return
 	}
-	// Reverse channel has the same latency as the forward one.
-	lat := n.routers[up.r].outLat[int(up.port)-n.T.P]
-	n.emit(sh, int(lat), event{r: up.r, port: up.port, vc: int8(vc)})
+	if !n.fastCredits {
+		// An in-flight reviser (PAR) observes credit state from Revise
+		// mid-delivery, so its credits must stay interleaved with flit
+		// events in emission order on the shared wheel. Reverse channel
+		// has the same latency as the forward one.
+		up := n.inChan[swi*n.ports+port]
+		oi := int(up.r)*n.nonTerm + int(up.port) - n.T.P
+		n.emit(sh, int(n.outLat[oi]), event{flit: -1, r: up.r, port: up.port, vc: int8(vc)})
+		return
+	}
+	ci := int32(uint32(desc)) + int32(vc)
+	slot := n.nowSlot + int32(desc>>32&0xffff)
+	if slot >= int32(n.wheelLen) {
+		slot -= int32(n.wheelLen)
+	}
+	if sh.wheel == nil {
+		n.creditWheel[slot] = append(n.creditWheel[slot], ci)
+		return
+	}
+	d := int(desc >> 48 & 0x7fff)
+	sh.coutbox[d] = append(sh.coutbox[d], uint64(uint32(slot))<<32|uint64(uint32(ci)))
 }
 
-// deliver ejects a flit at its destination and records statistics.
-// Packet-level statistics (latency, throughput) are recorded at the
-// tail flit; single-flit packets are their own head and tail.
-func (n *Network) deliver(f *Flit) {
+// deliver ejects flit slot f at its destination and records
+// statistics. Packet-level statistics (latency, throughput) are
+// recorded at the tail flit; single-flit packets are their own head
+// and tail. Slot recycling order: a body/tail slot is released at its
+// own ejection, the head slot only when the packet's pending count
+// hits zero — i.e. after every flit of the packet (the head included)
+// has ejected — so in-flight body flits can always read the route
+// through headOf.
+func (n *Network) deliver(f int32) {
+	fa := &n.fa
 	n.delivered++
 	n.lastDeliver = n.now
-	head := f.head
-	if head == nil {
+	head := fa.rec[f].headOf
+	if head < 0 {
 		head = f
 	}
-	head.pending--
-	if f.IsTail || n.Cfg.PacketSize == 1 {
+	fa.rec[head].pending--
+	if fa.rec[f].flags&fIsTail != 0 || n.Cfg.PacketSize == 1 {
 		if n.now >= n.measBegin && n.now < n.measEnd {
 			n.deliveredIn++
 		}
-		if head.Measured {
+		if fa.rec[head].flags&fMeasured != 0 {
 			n.measDeliv++
-			lat := float64(n.now - head.GenTime)
+			lat := float64(n.now - fa.rec[head].genTime)
 			n.measLatency.Add(lat)
 			n.measHist.Add(lat)
-			n.measHops.Add(float64(f.HopIdx))
+			// A routed slot ejects with hopIdx == routeLen-1 by
+			// construction (the fast path no longer maintains hopIdx);
+			// wormhole body/tail slots carry no route copy, so their
+			// (slow-path-maintained) hopIdx is authoritative.
+			if rl := fa.rec[f].routeLen; rl > 0 {
+				n.measHops.Add(float64(rl - 1))
+			} else {
+				n.measHops.Add(float64(fa.rec[f].hopIdx))
+			}
 		}
 	}
 	if f != head {
-		n.freeFlit(f)
+		fa.release(f)
 	}
-	if head.pending <= 0 {
-		n.freeFlit(head)
+	if fa.rec[head].pending <= 0 {
+		fa.release(head)
 	}
 }

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"tugal/internal/exec"
@@ -36,22 +37,42 @@ import (
 // exactly that order — shards are contiguous ascending id ranges —
 // so every input buffer receives its flits in the sequential order,
 // and all downstream arbitration decisions coincide.
+//
+// Everything exchanged between shards is an index: events carry flit
+// arena slots and ejection buffers hold slots, so mailbox traffic is
+// pointer-free (no write barriers, nothing for the GC to scan, no
+// nil-ing on drain). The flit arena itself is only written by the
+// shard that owns the flit's current router — a flit is in exactly
+// one input buffer — and by the sequential phases.
 
 // simShard is one static partition of the routers. lo/hi bound the
 // owned id range [lo, hi). active has bit (id-lo) set iff router id
-// buffers any flit; enqueue/dequeue maintain it so allocate scans
-// set bits instead of every router. The remaining fields are nil on
-// single-shard networks (the sequential stepper uses the global
-// wheel and delivers ejections inline): wheel is the shard's private
-// timing-wheel segment, outbox[d] the mailbox of events this shard
-// emitted for shard d during the current allocate phase, and eject
-// the flits this shard ejected this cycle, in ascending router order.
+// buffers any flit; enqueue/dequeue maintain it so allocate scans set
+// bits instead of every router. ring is the shard's input-queue
+// arena: rbCap (power-of-two, see Network.qShift) int32 flit slots
+// for each of the shard's (router, port, vc) queues, at offset
+// (g-ringBase)<<qShift for global queue slot g. The remaining fields
+// are nil on single-shard networks (the sequential stepper uses the
+// global wheel and delivers ejections inline): wheel is the shard's
+// private timing-wheel segment, outbox[d] the mailbox of events this
+// shard emitted for shard d during the current allocate phase, and
+// eject the flit slots this shard ejected this cycle, in ascending
+// router order.
 type simShard struct {
-	lo, hi int32
-	active []uint64
-	wheel  [][]event
-	outbox [][]outEvent
-	eject  []*Flit
+	lo, hi   int32
+	active   []uint64
+	ring     []uint64
+	ringBase int32
+	wheel    [][]event
+	outbox   [][]outEvent
+	// cwheel/coutbox are the credit-return counterparts of
+	// wheel/outbox: cwheel buckets hold bare credit indices, coutbox
+	// entries pack (wheel slot << 32 | credit index) into a uint64.
+	// Credit delivery is a commutative increment, so merge order
+	// needs no determinism guarantees.
+	cwheel  [][]int32
+	coutbox [][]uint64
+	eject   []int32
 }
 
 // outEvent is a mailbox entry: the event plus its precomputed wheel
@@ -68,7 +89,7 @@ type outEvent struct {
 // else — including routing functions that predate the interface —
 // conservatively steps sequentially.
 func (n *Network) buildShards() {
-	sw := len(n.routers)
+	sw := n.T.NumSwitches()
 	s := n.Cfg.Shards
 	if s < 1 {
 		s = 1
@@ -86,14 +107,19 @@ func (n *Network) buildShards() {
 	n.shardSize = int32(size)
 	count := (sw + size - 1) / size
 	n.shards = make([]simShard, count)
+	qPerSw := n.ports * n.numVCs
 	for i := range n.shards {
 		sh := &n.shards[i]
 		sh.lo = int32(i * size)
 		sh.hi = int32(min((i+1)*size, sw))
 		sh.active = make([]uint64, (int(sh.hi-sh.lo)+63)/64)
+		sh.ringBase = sh.lo * int32(qPerSw)
+		sh.ring = make([]uint64, int(sh.hi-sh.lo)*qPerSw<<n.qShift*2)
 		if count > 1 {
 			sh.wheel = make([][]event, n.wheelLen)
 			sh.outbox = make([][]outEvent, count)
+			sh.cwheel = make([][]int32, n.wheelLen)
+			sh.coutbox = make([][]uint64, count)
 		}
 	}
 }
@@ -138,15 +164,15 @@ func (n *Network) stepSharded() {
 	}
 	// Drain ejection buffers in shard order = ascending router order:
 	// the exact order the sequential allocator calls deliver in, so
-	// the Welford/histogram floating-point accumulation (and free-list
-	// order) match bit for bit. Nothing reads delivery statistics or
-	// the free list between allocation and here, so deferring the
-	// calls past the allocate barrier cannot change any result.
+	// the Welford/histogram floating-point accumulation (and arena
+	// free-list order) match bit for bit. Nothing reads delivery
+	// statistics or the free list between allocation and here, so
+	// deferring the calls past the allocate barrier cannot change any
+	// result.
 	for s := range n.shards {
 		sh := &n.shards[s]
-		for i, f := range sh.eject {
+		for _, f := range sh.eject {
 			n.deliver(f)
-			sh.eject[i] = nil
 		}
 		sh.eject = sh.eject[:0]
 	}
@@ -164,24 +190,28 @@ func (n *Network) shardDeliver(s int) {
 		for i := range box {
 			oe := &box[i]
 			sh.wheel[oe.slot] = append(sh.wheel[oe.slot], oe.ev)
-			box[i].ev.flit = nil
 		}
-		// Only slot s of the source's outbox array is touched here,
-		// and only by this shard; the source refills it next allocate
-		// phase, on the far side of a barrier.
+		cbox := n.shards[src].coutbox[s]
+		for _, e := range cbox {
+			cs := uint32(e >> 32)
+			sh.cwheel[cs] = append(sh.cwheel[cs], int32(uint32(e)))
+		}
+		// Only slot s of the source's outbox/coutbox arrays is touched
+		// here, and only by this shard; the source refills them next
+		// allocate phase, on the far side of a barrier.
 		n.shards[src].outbox[s] = box[:0]
+		n.shards[src].coutbox[s] = cbox[:0]
 	}
-	slot := int(n.now % int64(n.wheelLen))
+	slot := int(n.nowSlot)
+	cb := sh.cwheel[slot]
+	for _, ci := range cb {
+		n.credits[ci]++
+	}
+	sh.cwheel[slot] = cb[:0]
 	bucket := sh.wheel[slot]
 	for i := range bucket {
-		ev := &bucket[i]
-		rt := &n.routers[ev.r]
-		if ev.flit != nil {
-			n.enqueue(rt, int(ev.port), int(ev.vc), ev.flit)
-			ev.flit = nil
-		} else {
-			rt.credits[(int(ev.port)-n.T.P)*n.Cfg.NumVCs+int(ev.vc)]++
-		}
+		ev := bucket[i]
+		n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), ev.flit, ev.hop, ev.rw)
 	}
 	sh.wheel[slot] = bucket[:0]
 }
@@ -199,7 +229,10 @@ func (n *Network) emit(sh *simShard, delay int, ev event) {
 		panic(fmt.Sprintf("netsim: schedule delay %d outside timing wheel [0,%d); "+
 			"channel latencies must not change after New", delay, n.wheelLen))
 	}
-	slot := int32((n.now + int64(delay)) % int64(n.wheelLen))
+	slot := n.nowSlot + int32(delay)
+	if slot >= int32(n.wheelLen) {
+		slot -= int32(n.wheelLen)
+	}
 	d := ev.r / n.shardSize
 	sh.outbox[d] = append(sh.outbox[d], outEvent{ev: ev, slot: slot})
 }
@@ -311,47 +344,94 @@ func (n *Network) startEngine() func() {
 
 // genCalendar buckets node ids by their next packet-generation cycle,
 // so inject pops exactly the nodes due at n.now instead of scanning
-// all of them. Buckets are recycled through a free list; a bucket is
-// sorted at pop time when needed (nodes landing in the same future
-// cycle from different emission cycles can arrive out of id order).
+// all of them. Near-future cycles — where virtually every geometric
+// inter-arrival gap lands — live in a small power-of-two wheel
+// indexed by cycle; the long tail spills into a map. Buckets are
+// recycled through a free list. pop must be called once per cycle
+// with strictly increasing t (the steppers do): the wheel slot is
+// reclaimed on pop, which is what keeps slot collisions impossible.
+//
+// A popped bucket is handed out in ascending node id order (the
+// injection RNG draw order the sequential and sharded steppers both
+// rely on). Instead of sorting, pop drains the bucket through a
+// node-indexed scratch bitmap: setting one bit per due node and
+// scanning the words in order is O(nodes/64 + due) per cycle, beats
+// comparison sorting at every realistic bucket size, and yields the
+// ascending order by construction.
 type genCalendar struct {
-	buckets map[int64][]int32
-	free    [][]int32
+	near [][]int32 // wheel of len 1<<genWheelBits, indexed by t&mask
+	far  map[int64][]int32
+	base int64 // all cycles < base have been popped
+	free [][]int32
+	seen []uint64 // scratch bitmap, one bit per node
 }
 
-func (c *genCalendar) init() {
-	c.buckets = make(map[int64][]int32)
+// genWheelBits sizes the near wheel: 64 cycles covers all but the
+// ~0.9^64 tail of a geometric gap at the lowest interesting load.
+const genWheelBits = 6
+
+func (c *genCalendar) init(numNodes int) {
+	c.near = make([][]int32, 1<<genWheelBits)
+	c.far = make(map[int64][]int32)
+	c.seen = make([]uint64, (numNodes+63)/64)
 }
 
-// add registers node for cycle t (no-op for the never-generates
-// sentinel used by zero-rate sources).
 func (c *genCalendar) add(t int64, node int32) {
 	if t == neverGen {
 		return
 	}
-	b, ok := c.buckets[t]
+	if t-c.base < 1<<genWheelBits {
+		i := int(t) & (1<<genWheelBits - 1)
+		b := c.near[i]
+		if b == nil && len(c.free) > 0 {
+			b = c.free[len(c.free)-1][:0]
+			c.free = c.free[:len(c.free)-1]
+		}
+		c.near[i] = append(b, node)
+		return
+	}
+	b, ok := c.far[t]
 	if !ok && len(c.free) > 0 {
 		b = c.free[len(c.free)-1][:0]
 		c.free = c.free[:len(c.free)-1]
 	}
-	c.buckets[t] = append(b, node)
+	c.far[t] = append(b, node)
 }
 
-// pop removes and returns the bucket for cycle t, sorted ascending
-// (nil when no node is due). The caller returns it via recycle.
 func (c *genCalendar) pop(t int64) []int32 {
-	b, ok := c.buckets[t]
-	if !ok {
-		return nil
+	c.base = t + 1
+	i := int(t) & (1<<genWheelBits - 1)
+	b := c.near[i]
+	c.near[i] = nil
+	if fb, ok := c.far[t]; ok {
+		delete(c.far, t)
+		if b == nil {
+			b = fb
+		} else {
+			b = append(b, fb...)
+			c.recycle(fb)
+		}
 	}
-	delete(c.buckets, t)
-	if !int32sSorted(b) {
-		int32sSort(b)
+	if len(b) > 1 && !int32sSorted(b) {
+		for _, v := range b {
+			c.seen[v>>6] |= 1 << (uint32(v) & 63)
+		}
+		b = b[:0]
+		for w, word := range c.seen {
+			if word == 0 {
+				continue
+			}
+			c.seen[w] = 0
+			base := int32(w << 6)
+			for word != 0 {
+				b = append(b, base+int32(bits.TrailingZeros64(word)))
+				word &= word - 1
+			}
+		}
 	}
 	return b
 }
 
-// recycle returns a popped bucket's storage to the free list.
 func (c *genCalendar) recycle(b []int32) {
 	if cap(b) > 0 {
 		c.free = append(c.free, b[:0])
@@ -365,18 +445,4 @@ func int32sSorted(b []int32) bool {
 		}
 	}
 	return true
-}
-
-// int32sSort is an insertion sort: buckets are near-sorted short runs
-// (ascending per emission cycle), where this beats the generic sort.
-func int32sSort(b []int32) {
-	for i := 1; i < len(b); i++ {
-		v := b[i]
-		j := i - 1
-		for j >= 0 && b[j] > v {
-			b[j+1] = b[j]
-			j--
-		}
-		b[j+1] = v
-	}
 }

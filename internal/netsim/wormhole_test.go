@@ -39,6 +39,56 @@ func TestWormholeConservation(t *testing.T) {
 	}
 }
 
+// TestWormholeHeadSlotLifetime pins the arena's recycling invariant
+// that the seed's head *Flit pointer aliasing made implicit: a head
+// flit's arena slot must not be returned to the free list while its
+// packet's pending count still covers in-flight body flits — every
+// live body slot reads its route through headOf, so a recycled head
+// would silently route bodies along whatever packet reused the slot.
+func TestWormholeHeadSlotLifetime(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 9)
+	cfg := DefaultConfig()
+	cfg.PacketSize = 4
+	n := New(tp, cfg, minRouter{tp}, traffic.Uniform{T: tp}, 0.15)
+	fa := &n.fa
+	for i := 0; i < 4000; i++ {
+		n.step()
+		if i%17 != 0 {
+			continue
+		}
+		// alloc() hands out free-listed slots before growing rec, so
+		// every slot is either on the free list or live.
+		freed := make(map[int32]bool, len(fa.free))
+		for _, s := range fa.free {
+			freed[s] = true
+		}
+		for s := int32(0); s < int32(len(fa.rec)); s++ {
+			if freed[s] {
+				continue
+			}
+			h := fa.rec[s].headOf
+			if h < 0 {
+				continue // a head (or single-flit packet)
+			}
+			if freed[h] {
+				t.Fatalf("cycle %d: body slot %d is live but its head slot %d was recycled",
+					i, s, h)
+			}
+			if p := fa.rec[h].pending; p <= 0 {
+				t.Fatalf("cycle %d: body slot %d in flight with head %d pending=%d",
+					i, s, h, p)
+			}
+			if fa.rec[h].src != fa.rec[s].src || fa.rec[h].dst != fa.rec[s].dst {
+				t.Fatalf("cycle %d: body slot %d (src %d dst %d) disagrees with head %d (src %d dst %d)",
+					i, s, fa.rec[s].src, fa.rec[s].dst, h, fa.rec[h].src, fa.rec[h].dst)
+			}
+		}
+	}
+	if n.delivered == 0 {
+		t.Fatal("nothing delivered; the invariant was never exercised")
+	}
+}
+
 func TestWormholeSerializationLatency(t *testing.T) {
 	tp := topo.MustNew(2, 4, 2, 9)
 	pat := traffic.Shift{T: tp, DG: 1, DS: 0}

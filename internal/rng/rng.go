@@ -9,6 +9,8 @@
 // the paper's methodology of averaging 8-20 seeded runs.
 package rng
 
+import "math/bits"
+
 // splitmix64 is the seeding/stream-splitting generator recommended by
 // Vigna for initializing xorshift-family state. It is also a perfectly
 // good generator on its own and is what we use for stable hashing.
@@ -82,14 +84,7 @@ func (s *Source) Intn(n int) int {
 
 // mul64 returns the 128-bit product of a and b as (hi, lo).
 func mul64(a, b uint64) (hi, lo uint64) {
-	const mask = 0xffffffff
-	a0, a1 := a&mask, a>>32
-	b0, b1 := b&mask, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t&mask + a0*b1
-	hi = a1*b1 + t>>32 + w1>>32
-	lo = a * b
-	return
+	return bits.Mul64(a, b)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

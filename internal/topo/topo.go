@@ -91,6 +91,17 @@ type Topology struct {
 	// linksBetween[gi*G+gj] caches the K global links from group gi
 	// to group gj (empty for gi == gj). Shared, read-only.
 	linksBetween [][]GlobalLink
+
+	// Strength-reduction tables for the id decompositions: p and a
+	// are runtime values, so sw/a-style divisions cost a hardware
+	// divide on every call — and the simulator's injection path
+	// performs dozens per packet. The tables are a few hundred KB at
+	// the largest supported sizes and read-only after construction.
+	swGroup   []int32 // sw -> sw / a
+	swIdx     []int16 // sw -> sw % a
+	nodeSw    []int32 // node -> node / p
+	nodeIdx   []int16 // node -> node % p
+	nodeGroup []int32 // node -> node / (a*p)
 }
 
 // Common construction errors.
@@ -170,6 +181,21 @@ func (t *Topology) slotToward(gi, gj int) int {
 // parallel links of a pair across the switches of each group.
 func (t *Topology) wire() {
 	n := t.NumSwitches()
+	t.swGroup = make([]int32, n)
+	t.swIdx = make([]int16, n)
+	for sw := 0; sw < n; sw++ {
+		t.swGroup[sw] = int32(sw / t.A)
+		t.swIdx[sw] = int16(sw % t.A)
+	}
+	nn := t.NumNodes()
+	t.nodeSw = make([]int32, nn)
+	t.nodeIdx = make([]int16, nn)
+	t.nodeGroup = make([]int32, nn)
+	for nd := 0; nd < nn; nd++ {
+		t.nodeSw[nd] = int32(nd / t.P)
+		t.nodeIdx[nd] = int16(nd % t.P)
+		t.nodeGroup[nd] = int32(nd / (t.A * t.P))
+	}
 	t.globalPeer = make([][]int32, n)
 	t.globalPeerPort = make([][]int32, n)
 	backing := make([]int32, n*t.H*2)
@@ -205,25 +231,25 @@ func (t *Topology) Radix() int { return t.P + t.A - 1 + t.H }
 func (t *Topology) GlobalLinksPerGroup() int { return t.A * t.H }
 
 // GroupOf returns the group of a switch.
-func (t *Topology) GroupOf(sw int) int { return sw / t.A }
+func (t *Topology) GroupOf(sw int) int { return int(t.swGroup[sw]) }
 
 // SwitchIndexInGroup returns a switch's index within its group.
-func (t *Topology) SwitchIndexInGroup(sw int) int { return sw % t.A }
+func (t *Topology) SwitchIndexInGroup(sw int) int { return int(t.swIdx[sw]) }
 
 // SwitchID composes a switch id from group and in-group index.
 func (t *Topology) SwitchID(group, idx int) int { return group*t.A + idx }
 
 // SwitchOfNode returns the switch a node attaches to.
-func (t *Topology) SwitchOfNode(node int) int { return node / t.P }
+func (t *Topology) SwitchOfNode(node int) int { return int(t.nodeSw[node]) }
 
 // NodeID composes a node id from switch and terminal index.
 func (t *Topology) NodeID(sw, k int) int { return sw*t.P + k }
 
 // NodeIndex returns a node's terminal index at its switch.
-func (t *Topology) NodeIndex(node int) int { return node % t.P }
+func (t *Topology) NodeIndex(node int) int { return int(t.nodeIdx[node]) }
 
 // GroupOfNode returns the group a node belongs to.
-func (t *Topology) GroupOfNode(node int) int { return node / (t.A * t.P) }
+func (t *Topology) GroupOfNode(node int) int { return int(t.nodeGroup[node]) }
 
 // GlobalPeer returns the far-end switch of global port gp of sw.
 func (t *Topology) GlobalPeer(sw, gp int) int {
@@ -244,8 +270,8 @@ func (t *Topology) TerminalPort(k int) int { return k }
 // LocalPort returns the port on switch u toward switch v, which must
 // be a different switch of the same group.
 func (t *Topology) LocalPort(u, v int) int {
-	su, sv := u%t.A, v%t.A
-	if u/t.A != v/t.A || su == sv {
+	su, sv := int(t.swIdx[u]), int(t.swIdx[v])
+	if t.swGroup[u] != t.swGroup[v] || su == sv {
 		panic(fmt.Sprintf("topo: LocalPort(%d,%d) not distinct same-group switches", u, v))
 	}
 	if sv > su {
@@ -262,8 +288,8 @@ func (t *Topology) LocalPortOK(u, v int) (port int, ok bool) {
 	if u < 0 || v < 0 || u >= t.NumSwitches() || v >= t.NumSwitches() {
 		return 0, false
 	}
-	su, sv := u%t.A, v%t.A
-	if u/t.A != v/t.A || su == sv {
+	su, sv := int(t.swIdx[u]), int(t.swIdx[v])
+	if t.swGroup[u] != t.swGroup[v] || su == sv {
 		return 0, false
 	}
 	if sv > su {
@@ -369,7 +395,7 @@ func (t *Topology) buildLinkCache() {
 }
 
 // SameGroup reports whether two switches share a group.
-func (t *Topology) SameGroup(u, v int) bool { return u/t.A == v/t.A }
+func (t *Topology) SameGroup(u, v int) bool { return t.swGroup[u] == t.swGroup[v] }
 
 // AdjacentPort returns the port on u that reaches the adjacent switch
 // v (local or global) and whether such a direct connection exists.
