@@ -28,7 +28,7 @@ func ablationWindows() sweep.Windows {
 
 // satOf measures UGAL-L saturation throughput under a policy on
 // adversarial shift(2,0) traffic, dfly(4,8,4,9).
-func satOf(t *topo.Topology, pol paths.Policy) float64 {
+func satOf(t *topo.Compiled, pol paths.Policy) float64 {
 	cfg := netsim.DefaultConfig()
 	rf := routing.NewUGALL(t, pol)
 	pf := sweep.Fixed(traffic.Shift{T: t, DG: 2, DS: 0})

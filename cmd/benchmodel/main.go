@@ -48,7 +48,7 @@ import (
 // and Type2 size the suite exactly like core.Options does.
 type benchCase struct {
 	name   string
-	t      *topo.Topology
+	t      *topo.Compiled
 	points []core.DataPoint
 	type1  int // 0 = all (g-1)*a shifts
 	type2  int
@@ -186,7 +186,7 @@ func runCase(c benchCase, workers int) caseResult {
 	pats := suite(c)
 	res := caseResult{
 		Name:     c.name,
-		Topology: c.t.Params.String(),
+		Topology: c.t.Label(),
 		Switches: c.t.NumSwitches(),
 		Points:   len(c.points),
 		Patterns: len(pats),

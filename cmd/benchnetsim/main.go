@@ -50,7 +50,7 @@ import (
 // at each scale.
 type benchCase struct {
 	name   string
-	t      *topo.Topology
+	t      *topo.Compiled
 	cycles int64
 	rate   float64
 	// settle extends the run before the steady-state allocation probe:
@@ -119,7 +119,7 @@ func fail(format string, args ...any) {
 func runCase(c benchCase, shardCounts []int, reps int) caseResult {
 	res := caseResult{
 		Name:     c.name,
-		Topology: c.t.Params.String(),
+		Topology: c.t.Label(),
 		Switches: c.t.NumSwitches(),
 		Pattern:  "shift:2:0",
 		Rate:     c.rate,

@@ -1,13 +1,14 @@
-// Command dflyinfo prints the structural parameters of a Dragonfly
-// topology dfly(p,a,h,g) — the quantities of the paper's Table 2 —
-// plus path-diversity statistics for a sample switch pair, and, with
-// -policies, whole-topology candidate-set statistics per policy from
-// the compiled path store (pairs, paths, hop histogram, arena size).
+// Command dflyinfo prints the structural parameters of a topology —
+// the quantities of the paper's Table 2 — plus path-diversity
+// statistics for a sample switch pair, and, with -policies,
+// whole-topology candidate-set statistics per policy from the
+// compiled path store (pairs, paths, hop histogram, arena size).
 //
 // Usage:
 //
 //	dflyinfo -p 4 -a 8 -h 4 -g 9
-//	dflyinfo -p 4 -a 8 -h 4 -g 9 -policies full,strategic:2,capped:4:0.6
+//	dflyinfo -topo 'dfly(4,8,4,9)' -policies full,strategic:2,capped:4:0.6
+//	dflyinfo -topo 'd3(12,4)'
 package main
 
 import (
@@ -28,20 +29,31 @@ func main() {
 	h := flag.Int("h", 4, "global links per switch")
 	g := flag.Int("g", 9, "number of groups")
 	arrName := flag.String("arrangement", "absolute", "global link arrangement: absolute|relative")
+	topoSpec := flag.String("topo", "", spec.TopologyUsage+"; overrides -p/-a/-h/-g")
 	policies := flag.String("policies", "", "comma-separated path policies to compile and summarize (e.g. full,strategic:2,capped:4:0.6)")
 	flag.Parse()
 
-	arr := topo.Absolute
-	if *arrName == "relative" {
-		arr = topo.Relative
-	} else if *arrName != "absolute" {
-		fmt.Fprintln(os.Stderr, "dflyinfo: unknown arrangement", *arrName)
-		os.Exit(2)
-	}
-	t, err := topo.NewArranged(*p, *a, *h, *g, arr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dflyinfo:", err)
-		os.Exit(1)
+	var t *topo.Compiled
+	var err error
+	if *topoSpec != "" {
+		t, err = spec.Topology(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dflyinfo: -topo:", err)
+			os.Exit(2)
+		}
+	} else {
+		arr := topo.Absolute
+		if *arrName == "relative" {
+			arr = topo.Relative
+		} else if *arrName != "absolute" {
+			fmt.Fprintln(os.Stderr, "dflyinfo: unknown arrangement", *arrName)
+			os.Exit(2)
+		}
+		t, err = topo.NewArranged(*p, *a, *h, *g, arr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dflyinfo:", err)
+			os.Exit(1)
+		}
 	}
 	if err := t.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "dflyinfo: validation failed:", err)
@@ -49,14 +61,16 @@ func main() {
 	}
 	row := t.Table2()
 	fmt.Printf("topology:              %s\n", row.Topology)
-	fmt.Printf("arrangement:           %s\n", t.Arr)
+	
 	fmt.Printf("compute nodes (PEs):   %d\n", row.PEs)
 	fmt.Printf("switches:              %d\n", row.Switches)
 	fmt.Printf("groups:                %d\n", row.Groups)
 	fmt.Printf("links per group pair:  %d\n", row.LinksPerGroupPair)
 	fmt.Printf("switch radix:          %d\n", t.Radix())
 	fmt.Printf("global links per group:%d\n", t.GlobalLinksPerGroup())
-	fmt.Printf("balanced (a=2p=2h):    %v\n", t.Params.Balanced())
+	if t.Family() == "dfly" {
+		fmt.Printf("balanced (a=2p=2h):    %v\n", topo.Params{P: t.P, A: t.A, H: t.H, G: t.G}.Balanced())
+	}
 
 	if t.NumSwitches() <= 2048 {
 		m := t.ComputeMetrics()

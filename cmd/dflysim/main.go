@@ -45,6 +45,7 @@ func main() {
 	h := flag.Int("h", 4, "global links per switch")
 	g := flag.Int("g", 9, "number of groups")
 	arrangement := flag.String("arrangement", "absolute", "absolute|relative")
+	topoSpec := flag.String("topo", "", spec.TopologyUsage+"; overrides -p/-a/-h/-g")
 	rtName := flag.String("routing", "ugal-l", "min|vlb|ugal-l|ugal-g|ugal-pb|par|t-ugal-l|t-ugal-g|t-ugal-pb|t-par")
 	policy := flag.String("policy", "strategic:2", "T-VLB policy for t-* schemes (full|strategic[:leg]|capped:<hops>[:frac])")
 	pattern := flag.String("pattern", "ur", "traffic pattern (see internal/spec)")
@@ -126,9 +127,18 @@ func main() {
 	if *seeds <= 0 {
 		failUsage("-seeds must be positive, got %d", *seeds)
 	}
-	t, err := topo.NewArranged(*p, *a, *h, *g, arr)
-	if err != nil {
-		fail("%v", err)
+	var t *topo.Compiled
+	var err error
+	if *topoSpec != "" {
+		t, err = spec.Topology(*topoSpec)
+		if err != nil {
+			failUsage("-topo: %v", err)
+		}
+	} else {
+		t, err = topo.NewArranged(*p, *a, *h, *g, arr)
+		if err != nil {
+			fail("%v", err)
+		}
 	}
 	pol, err := spec.Policy(t, *policy, rng.Hash64(*seed, 0x90))
 	if err != nil {
@@ -177,7 +187,7 @@ func main() {
 	}
 
 	fmt.Printf("%s (%s)  routing=%s  pattern=%s  vcs=%d buf=%d lat=%d/%d speedup=%d packet=%d\n",
-		t.Params, t.Arr, rf.Name(), *pattern, cfg.NumVCs, cfg.BufSize,
+		t.Label(), t.Family(), rf.Name(), *pattern, cfg.NumVCs, cfg.BufSize,
 		cfg.LocalLatency, cfg.GlobalLatency, cfg.SpeedUp, cfg.PacketSize)
 	if mask != nil {
 		fmt.Printf("degraded: %s\n", mask)

@@ -26,15 +26,27 @@ func main() {
 	a := flag.Int("a", 8, "switches per group")
 	h := flag.Int("h", 4, "global links per switch")
 	g := flag.Int("g", 9, "number of groups")
+	topoSpec := flag.String("topo", "", spec.TopologyUsage+"; overrides -p/-a/-h/-g")
 	full := flag.Bool("full", false, "paper-faithful settings (slow)")
 	seed := flag.Uint64("seed", 1, "master seed")
 	failSpec := flag.String("fail", "", "failure mask: comma-separated global:<sw>:<gp>, local:<u>:<v>, switch:<sw>")
 	flag.Parse()
 
-	t, err := topo.New(*p, *a, *h, *g)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tvlb:", err)
-		os.Exit(1)
+	var t *topo.Compiled
+	var err error
+	if *topoSpec != "" {
+		t, err = spec.Topology(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvlb: -topo:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	} else {
+		t, err = topo.New(*p, *a, *h, *g)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tvlb:", err)
+			os.Exit(1)
+		}
 	}
 	mask, err := spec.Failures(t, *failSpec)
 	if err != nil {
@@ -49,7 +61,7 @@ func main() {
 	opt.Seed = *seed
 	opt.Failures = mask
 
-	fmt.Printf("computing T-VLB for %s ...\n", t.Params)
+	fmt.Printf("computing T-VLB for %s ...\n", t.Label())
 	if mask != nil {
 		fmt.Printf("degraded: %s\n", mask)
 	}

@@ -16,7 +16,7 @@ import (
 func main() {
 	t := tugal.MustTopology(3, 6, 3, 10)
 	fmt.Printf("custom topology %s: %d nodes, %d switches, %d links per group pair\n\n",
-		t.Params, t.NumNodes(), t.NumSwitches(), t.K)
+		t.Label(), t.NumNodes(), t.NumSwitches(), t.K)
 
 	opt := tugal.QuickTVLBOptions()
 	res, err := tugal.ComputeTVLB(t, opt)

@@ -23,7 +23,7 @@ func main() {
 	w := tugal.SweepWindows{Warmup: 3000, Measure: 2000, Drain: 4000}
 	tvlb := tugal.StrategicVLB(t, 2)
 
-	fmt.Printf("ring exchange on %s under different placements\n\n", t.Params)
+	fmt.Printf("ring exchange on %s under different placements\n\n", t.Label())
 	fmt.Printf("%-12s %-10s %20s\n", "placement", "routing", "saturation throughput")
 
 	for _, strat := range []placement.Strategy{placement.Linear, placement.GroupRoundRobin} {

@@ -16,7 +16,7 @@ func main() {
 	// between each pair of groups, 288 compute nodes.
 	t := tugal.MustTopology(4, 8, 4, 9)
 	fmt.Printf("topology %s: %d nodes, %d switches, %d links per group pair\n\n",
-		t.Params, t.NumNodes(), t.NumSwitches(), t.K)
+		t.Label(), t.NumNodes(), t.NumSwitches(), t.K)
 
 	// Run Algorithm 1 (quick settings: a couple of minutes).
 	fmt.Println("computing T-VLB with Algorithm 1 (quick settings)...")

@@ -29,7 +29,7 @@ func (h HopProfile) Latency(cfg netsim.Config) float64 {
 
 // MinProfile computes the demand-weighted expected MIN hop profile
 // for a deterministic pattern.
-func MinProfile(t *topo.Topology, pat traffic.Deterministic) HopProfile {
+func MinProfile(t *topo.Compiled, pat traffic.Deterministic) HopProfile {
 	var prof HopProfile
 	total := 0.0
 	for _, d := range traffic.SwitchDemands(t, pat) {
@@ -51,7 +51,7 @@ func MinProfile(t *topo.Topology, pat traffic.Deterministic) HopProfile {
 
 // VLBProfile computes the candidate-weighted expected VLB hop profile
 // under a policy for a deterministic pattern.
-func VLBProfile(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic) HopProfile {
+func VLBProfile(t *topo.Compiled, pol paths.Policy, pat traffic.Deterministic) HopProfile {
 	var prof HopProfile
 	total := 0.0
 	for _, d := range traffic.SwitchDemands(t, pat) {
@@ -77,7 +77,7 @@ func VLBProfile(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic) H
 // ZeroLoad estimates the zero-load average packet latency for a UGAL
 // router that sends vlbShare of traffic non-minimally: the pipe
 // delays of the expected MIN/VLB profiles, blended.
-func ZeroLoad(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic,
+func ZeroLoad(t *topo.Compiled, pol paths.Policy, pat traffic.Deterministic,
 	cfg netsim.Config, vlbShare float64) float64 {
 	min := MinProfile(t, pat).Latency(cfg)
 	vlb := VLBProfile(t, pol, pat).Latency(cfg)
@@ -93,7 +93,7 @@ func ZeroLoad(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic,
 // so it lower-bounds the simulator at moderate load — the
 // relationship the validation tests assert.
 type Curve struct {
-	t        *topo.Topology
+	t        *topo.Compiled
 	cfg      netsim.Config
 	res      flow.Result
 	minProf  HopProfile
@@ -104,7 +104,7 @@ type Curve struct {
 }
 
 // NewCurve builds the approximation for a pattern and policy.
-func NewCurve(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, cfg netsim.Config) *Curve {
+func NewCurve(t *topo.Compiled, pol paths.Policy, pat traffic.Deterministic, cfg netsim.Config) *Curve {
 	net := flow.NewNetwork(t)
 	demands := traffic.SwitchDemands(t, pat)
 	dl := flow.ComputeLoads(net, pol, demands, flow.LoadOptions{Enumerate: true})

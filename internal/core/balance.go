@@ -44,7 +44,7 @@ type BalanceReport struct {
 }
 
 // analyzePairs selects the ordered switch pairs to analyze.
-func analyzePairs(t *topo.Topology, opt LBOptions) [][2]int32 {
+func analyzePairs(t *topo.Compiled, opt LBOptions) [][2]int32 {
 	n := t.NumSwitches()
 	total := n * (n - 1)
 	if opt.PairCap <= 0 || total <= opt.PairCap {
@@ -89,7 +89,7 @@ func analyzePairs(t *topo.Topology, opt LBOptions) [][2]int32 {
 // to the interpreted path: an Explicit wrapper with a hash-keyed
 // removal set. Both branches make identical removal decisions
 // because the store preserves per-pair enumeration order.
-func Rebalance(t *topo.Topology, pol paths.Policy, opt LBOptions) (paths.Policy, BalanceReport) {
+func Rebalance(t *topo.Compiled, pol paths.Policy, opt LBOptions) (paths.Policy, BalanceReport) {
 	return RebalanceOn(flow.NewNetwork(t), pol, opt)
 }
 

@@ -1,0 +1,114 @@
+package core_test
+
+// Golden bit-identity pins: the dragonfly rebuilt on top of the
+// topo.Network family interface must reproduce the pre-interface
+// implementation bit for bit. The constants below are Float64bits
+// fingerprints captured from the direct implementation on the same
+// seeds; any change — an extra RNG draw, a reordered link list, a
+// float reassociation — shows up as a mismatched word, not a fuzzy
+// tolerance failure.
+
+import (
+	"math"
+	"testing"
+
+	"tugal/internal/core"
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/routing"
+	"tugal/internal/sweep"
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+func TestGoldenNetsimG5(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 5)
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 42
+	rf := routing.NewUGALL(tp, paths.Full{T: tp})
+	res := netsim.New(tp, cfg, rf.CloneRouting(), traffic.Shift{T: tp, DG: 1}, 0.2).Run(500, 500, 2000)
+	want := map[string][2]uint64{
+		"Throughput":  {math.Float64bits(res.Throughput), 0x3fc97c1bda5119ce},
+		"AvgLatency":  {math.Float64bits(res.AvgLatency), 0x40438f79b027fc68},
+		"AvgHops":     {math.Float64bits(res.AvgHops), 0x400975b713ac2ee2},
+		"VLBFraction": {math.Float64bits(res.VLBFraction), 0x3fd3a81504ad8767},
+		"OfferedLoad": {math.Float64bits(res.OfferedLoad), 0x3fc9916872b020c5},
+	}
+	for name, v := range want {
+		if v[0] != v[1] {
+			t.Errorf("%s = %#x, golden %#x", name, v[0], v[1])
+		}
+	}
+}
+
+func TestGoldenNetsimG9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("g9 simulation in -short mode")
+	}
+	tp := topo.MustNew(4, 8, 4, 9)
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 7
+	rf := routing.NewUGALG(tp, paths.Full{T: tp})
+	res := netsim.New(tp, cfg, rf.CloneRouting(), traffic.Uniform{T: tp}, 0.1).Run(300, 300, 1500)
+	want := map[string][2]uint64{
+		"Throughput":  {math.Float64bits(res.Throughput), 0x3fb95aa499388277},
+		"AvgLatency":  {math.Float64bits(res.AvgLatency), 0x40413e836c7a88c1},
+		"AvgHops":     {math.Float64bits(res.AvgHops), 0x400750d932934818},
+		"VLBFraction": {math.Float64bits(res.VLBFraction), 0x3fc2b9b91f5ab2ff},
+		"OfferedLoad": {math.Float64bits(res.OfferedLoad), 0x3fb9419ca252adb3},
+	}
+	for name, v := range want {
+		if v[0] != v[1] {
+			t.Errorf("%s = %#x, golden %#x", name, v[0], v[1])
+		}
+	}
+}
+
+func TestGoldenSweepPoint(t *testing.T) {
+	tp := topo.MustNew(2, 4, 2, 5)
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = 42
+	rf := routing.NewUGALL(tp, paths.Full{T: tp})
+	pt := sweep.RunPoint(tp, cfg, rf, func(seed uint64) traffic.Pattern {
+		return traffic.Shift{T: tp, DG: 1}
+	}, 0.15, sweep.Windows{Warmup: 300, Measure: 300, Drain: 1500}, 2)
+	if got := math.Float64bits(pt.Throughput); got != 0x3fc3078263ab596e {
+		t.Errorf("Throughput = %#x, golden 0x3fc3078263ab596e", got)
+	}
+	if got := math.Float64bits(pt.Latency); got != 0x40438f7dd9527e36 {
+		t.Errorf("Latency = %#x, golden 0x40438f7dd9527e36", got)
+	}
+}
+
+func TestGoldenStep1G9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Step-1 model probe in -short mode")
+	}
+	tp := topo.MustNew(4, 8, 4, 9)
+	curve, best, err := core.Step1(tp, core.QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := uint64(1469598103934665603)
+	for _, p := range curve {
+		h ^= math.Float64bits(p.Mean)
+		h *= 1099511628211
+		h ^= math.Float64bits(p.StdErr)
+		h *= 1099511628211
+	}
+	if h != 0xd2fd0aea4422e67e || best.String() != "all VLB" || len(curve) != 31 {
+		t.Errorf("curve hash=%#x best=%q n=%d, golden hash=0xd2fd0aea4422e67e best=\"all VLB\" n=31", h, best, len(curve))
+	}
+	wantPts := [][2]uint64{
+		{0x3fcd6a827e331e48, 0x3f99c93dc8c70d95},
+		{0x3fd163175a4d0388, 0x3f8b580fe57a77b8},
+		{0x3fd452653076146c, 0x3f80b20a845ef1eb},
+		{0x3fd62f2a183eb5cc, 0x3f8351d093637a31},
+	}
+	for i, w := range wantPts {
+		if math.Float64bits(curve[i].Mean) != w[0] || math.Float64bits(curve[i].StdErr) != w[1] {
+			t.Errorf("point %d = (%#x, %#x), golden (%#x, %#x)", i,
+				math.Float64bits(curve[i].Mean), math.Float64bits(curve[i].StdErr), w[0], w[1])
+		}
+	}
+}

@@ -47,7 +47,7 @@ func (d DataPoint) IsAll() bool {
 }
 
 // Policy materializes the data point as a path policy.
-func (d DataPoint) Policy(t *topo.Topology, seed uint64) paths.Policy {
+func (d DataPoint) Policy(t *topo.Compiled, seed uint64) paths.Policy {
 	if d.IsAll() {
 		return paths.Full{T: t}
 	}

@@ -115,7 +115,7 @@ type Candidate struct {
 
 // Result is the full Algorithm-1 output.
 type Result struct {
-	Topology topo.Params
+	Topology string
 	// Curve is the Step-1 modeled-throughput grid (Figures 4 and 5).
 	Curve []ProbePoint
 	// Best is the Step-1 winner.
@@ -134,7 +134,7 @@ type Result struct {
 }
 
 // modelPatterns builds the Step-1 pattern suite.
-func modelPatterns(t *topo.Topology, opt Options) []traffic.Deterministic {
+func modelPatterns(t *topo.Compiled, opt Options) []traffic.Deterministic {
 	pats := traffic.Type1Set(t)
 	if opt.Type1Cap > 0 && len(pats) > opt.Type1Cap {
 		r := rng.New(rng.Hash64(opt.Seed, 0x717e))
@@ -155,7 +155,7 @@ func modelPatterns(t *topo.Topology, opt Options) []traffic.Deterministic {
 // Step1Repeats > 1 each point is re-probed with fresh random
 // subsets and the means are averaged — the paper's optional
 // randomization guard.
-func Step1(t *topo.Topology, opt Options) ([]ProbePoint, DataPoint, error) {
+func Step1(t *topo.Compiled, opt Options) ([]ProbePoint, DataPoint, error) {
 	pats := modelPatterns(t, opt)
 	grid := ProbeGrid()
 	repeats := opt.Step1Repeats
@@ -287,7 +287,7 @@ func vicinity(curve []ProbePoint, best DataPoint, opt Options) []DataPoint {
 // patterns are independent saturation searches and run concurrently
 // on the default pool; scores land by pattern index, so the mean is
 // identical to the former sequential loop.
-func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
+func simulateScore(t *topo.Compiled, pol paths.Policy, opt Options) float64 {
 	scores := make([]float64, opt.Sim.Patterns)
 	pool := exec.Default()
 	// Simulate on the compiled form when it fits the budget, so every
@@ -318,8 +318,8 @@ func simulateScore(t *topo.Topology, pol paths.Policy, opt Options) float64 {
 }
 
 // ComputeTVLB runs Algorithm 1 for a topology.
-func ComputeTVLB(t *topo.Topology, opt Options) (*Result, error) {
-	res := &Result{Topology: t.Params}
+func ComputeTVLB(t *topo.Compiled, opt Options) (*Result, error) {
+	res := &Result{Topology: t.Label()}
 
 	// Step 1: coarse-grain estimation over the Table-1 grid.
 	curve, best, err := Step1(t, opt)

@@ -160,12 +160,12 @@ func Run(id string, opt Options) (*Result, error) {
 // enumeration pass) is skipped, at paper scale it runs with the
 // default options and is cached per topology. cmd/tvlb recomputes
 // the full pipeline from scratch.
-func tvlbPolicy(t *topo.Topology, opt Options) paths.Policy {
+func tvlbPolicy(t *topo.Compiled, opt Options) paths.Policy {
 	base := paths.Strategic{T: t, FirstLeg: 2}
 	if opt.Scale != ScalePaper {
 		return base
 	}
-	key := tvlbKey{params: t.Params, seed: opt.Seed}
+	key := tvlbKey{params: t.Label(), seed: opt.Seed}
 	tvlbCacheMu.Lock()
 	defer tvlbCacheMu.Unlock()
 	if pol, ok := tvlbCache[key]; ok {
@@ -180,7 +180,7 @@ func tvlbPolicy(t *topo.Topology, opt Options) paths.Policy {
 }
 
 type tvlbKey struct {
-	params topo.Params
+	params string
 	seed   uint64
 }
 
@@ -207,7 +207,7 @@ var (
 )
 
 type storeKey struct {
-	params topo.Params
+	params string
 	name   string
 }
 
@@ -215,11 +215,11 @@ type storeKey struct {
 // compile budget (reporting build time and arena bytes to the pool
 // observer on a fresh compile), or pol itself when it does not —
 // the Figure 13/14 topology stays interpreted by design.
-func compiled(t *topo.Topology, pol paths.Policy) paths.Policy {
+func compiled(t *topo.Compiled, pol paths.Policy) paths.Policy {
 	if _, already := pol.(*paths.Store); already {
 		return pol
 	}
-	key := storeKey{params: t.Params, name: pol.Name()}
+	key := storeKey{params: t.Label(), name: pol.Name()}
 	storeCacheMu.Lock()
 	defer storeCacheMu.Unlock()
 	if st, ok := storeCache[key]; ok {
@@ -238,7 +238,7 @@ func compiled(t *topo.Topology, pol paths.Policy) paths.Policy {
 // mkSchemes builds the requested conventional/T pairs. Both policies
 // are compiled once (when within budget) and shared read-only by
 // every scheme and cloned run on the pool.
-func mkSchemes(t *topo.Topology, opt Options, which ...string) []scheme {
+func mkSchemes(t *topo.Compiled, opt Options, which ...string) []scheme {
 	tp := compiled(t, tvlbPolicy(t, opt))
 	full := compiled(t, paths.Full{T: t})
 	out := make([]scheme, 0, len(which))
@@ -275,7 +275,7 @@ func mkSchemes(t *topo.Topology, opt Options, which ...string) []scheme {
 // per-scheme curves run concurrently on the default pool and land in
 // a slice by index, so series order (and content) matches the former
 // sequential loop exactly.
-func latencyFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
+func latencyFigure(t *topo.Compiled, opt Options, pf sweep.PatternFactory,
 	rates []float64, large bool, which ...string) (*Result, error) {
 	res := &Result{}
 	w := opt.windows(large)

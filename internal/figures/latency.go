@@ -37,7 +37,7 @@ func runFig9(opt Options) (*Result, error) {
 	return latencyFigure(t, opt, pf, rates, false, "UGAL-G", "T-UGAL-G")
 }
 
-func mixedFactory(t *topo.Topology, urPct int) sweep.PatternFactory {
+func mixedFactory(t *topo.Compiled, urPct int) sweep.PatternFactory {
 	return func(seed uint64) traffic.Pattern {
 		return traffic.NewMixed(t, urPct, traffic.Shift{T: t, DG: 1, DS: 0}, rng.Hash64(seed, 0x311d))
 	}

@@ -62,7 +62,7 @@ func runTable3(Options) (*Result, error) {
 }
 
 // stepOneCurve runs the Step-1 grid for a topology (Figures 4, 5).
-func stepOneCurve(t *topo.Topology, opt Options) (*Result, error) {
+func stepOneCurve(t *topo.Compiled, opt Options) (*Result, error) {
 	copt := core.DefaultOptions()
 	copt.Seed = opt.Seed
 	switch opt.Scale {

@@ -30,7 +30,7 @@ type variant struct {
 // concurrently on the default pool, each on its own routing instance
 // (mkSchemes builds a fresh one per cell), and land by index so the
 // output order matches the former nested loops.
-func sensitivityFigure(t *topo.Topology, opt Options, pf sweep.PatternFactory,
+func sensitivityFigure(t *topo.Compiled, opt Options, pf sweep.PatternFactory,
 	rates []float64, mode string, variants []variant) (*Result, error) {
 	res := &Result{Header: []string{"scheme", "saturation-throughput", "latency@low-load"}}
 	w := opt.windows(false)

@@ -53,7 +53,7 @@ func requireSameRow(t *testing.T, name, kind string, s, d int, want, got SparseV
 
 // degradeSteps grows a mask one failure at a time, returning each
 // step's newly dead channels.
-func degradeSteps(tp *topo.Topology, mask *topo.FailureMask) [][]topo.Channel {
+func degradeSteps(tp *topo.Compiled, mask *topo.FailureMask) [][]topo.Channel {
 	var steps [][]topo.Channel
 	d1, err := mask.FailGlobalLink(tp.A/2, tp.H-1)
 	if err != nil {

@@ -132,7 +132,7 @@ func allPairs(n int) [][2]int32 {
 // demanded by a pattern suite — the row set a Step-1 probe needs, so
 // a matrix restricted to it covers every pattern evaluation without
 // compiling the full n^2 grid.
-func PatternPairs(t *topo.Topology, pats []traffic.Deterministic) [][2]int32 {
+func PatternPairs(t *topo.Compiled, pats []traffic.Deterministic) [][2]int32 {
 	n := t.NumSwitches()
 	seen := make([]bool, n*n)
 	for _, pat := range pats {

@@ -15,7 +15,7 @@ import (
 // matrixPolicies lists the policy shapes the matrix must reproduce:
 // interpreted (Full, LengthCapped with a fractional tier, Strategic)
 // and compiled (Store) forms.
-func matrixPolicies(tp *topo.Topology) map[string]paths.Policy {
+func matrixPolicies(tp *topo.Compiled) map[string]paths.Policy {
 	return map[string]paths.Policy{
 		"full":         paths.Full{T: tp},
 		"capped":       paths.LengthCapped{T: tp, MaxHops: 4, Frac: 0.3, Seed: 7},
@@ -113,7 +113,7 @@ func TestLoadMatrixFromStore(t *testing.T) {
 
 // requireSameMatrix pins two LoadMatrices pair by pair: coverage, VLB
 // and MIN rows, hop averages and availability must match exactly.
-func requireSameMatrix(t *testing.T, name string, tp *topo.Topology, want, got *LoadMatrix) {
+func requireSameMatrix(t *testing.T, name string, tp *topo.Compiled, want, got *LoadMatrix) {
 	t.Helper()
 	if got.Pairs() != want.Pairs() {
 		t.Fatalf("%s: %d pairs vs %d", name, got.Pairs(), want.Pairs())

@@ -33,7 +33,7 @@ func DefaultModelOptions() ModelOptions {
 // ModelThroughput runs the behavioural UGAL throughput model for one
 // deterministic pattern under a path policy and returns the modeled
 // saturation throughput (packets/cycle/node).
-func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Deterministic, opt ModelOptions) (Result, error) {
+func ModelThroughput(t *topo.Compiled, pol paths.Policy, pat traffic.Deterministic, opt ModelOptions) (Result, error) {
 	net := NewDegradedNetwork(t, opt.Failures)
 	if opt.Loads.Matrix != nil {
 		// Rows reference the matrix's edge space; share its network.
@@ -61,7 +61,7 @@ func ModelThroughput(t *topo.Topology, pol paths.Policy, pat traffic.Determinist
 // fan-out in the repository — with per-pattern results written by
 // index, so the mean and standard error are bit-identical to the
 // sequential loop at any worker count.
-func AverageModeled(t *topo.Topology, pol paths.Policy, pats []traffic.Deterministic, opt ModelOptions) (mean, stderr float64, err error) {
+func AverageModeled(t *topo.Compiled, pol paths.Policy, pats []traffic.Deterministic, opt ModelOptions) (mean, stderr float64, err error) {
 	pool := exec.Default()
 	if opt.Loads.Enumerate && opt.Loads.Matrix == nil {
 		if lm, ok := TryCompileLoadMatrix(NewDegradedNetwork(t, opt.Failures), pol, PatternPairs(t, pats), DefaultMatrixBudget); ok {

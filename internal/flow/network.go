@@ -33,7 +33,7 @@ type Edge = int32
 // capacity 1; the p terminal injection (and ejection) channels of a
 // switch are aggregated into one edge of capacity p.
 type Network struct {
-	T *topo.Topology
+	T *topo.Compiled
 	// NumEdges is the size of the edge space.
 	NumEdges int
 	// Cap[e] is the capacity of edge e.
@@ -54,7 +54,7 @@ type Network struct {
 }
 
 // NewNetwork builds the edge space for a topology.
-func NewNetwork(t *topo.Topology) *Network {
+func NewNetwork(t *topo.Compiled) *Network {
 	n := &Network{T: t, portsPerSw: t.A - 1 + t.H}
 	sw := t.NumSwitches()
 	n.injBase = sw * n.portsPerSw
@@ -75,7 +75,7 @@ func NewNetwork(t *topo.Topology) *Network {
 // applied: dead channels (and the terminals of dead switches) get
 // capacity zero, and the mask is carried for the compilation paths.
 // A nil mask is equivalent to NewNetwork.
-func NewDegradedNetwork(t *topo.Topology, mask *topo.FailureMask) *Network {
+func NewDegradedNetwork(t *topo.Compiled, mask *topo.FailureMask) *Network {
 	n := NewNetwork(t)
 	if mask == nil {
 		return n

@@ -353,7 +353,8 @@ func DebugBinding(w io.Writer, dl *DemandLoads, res Result, n int) {
 			} else {
 				kind = "local"
 			}
-			desc = fmt.Sprintf("sw=%d(g%d) port=%d -> %d", sw, t.GroupOf(sw), port, t.PeerOfPort(sw, port))
+			peer, _ := t.PeerOfPortOK(sw, port)
+			desc = fmt.Sprintf("sw=%d(g%d) port=%d -> %d", sw, t.GroupOf(sw), port, peer)
 		}
 		fmt.Fprintf(w, "   util=%.4f %s %s\n", a.u, kind, desc)
 	}

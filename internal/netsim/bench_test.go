@@ -20,7 +20,7 @@ import (
 // cmd/benchnetsim records the same measurement to BENCH_netsim.json
 // for the perf trajectory.
 func BenchmarkStepSharded(b *testing.B) {
-	bench := func(b *testing.B, t *topo.Topology, cycles int64, rate float64) {
+	bench := func(b *testing.B, t *topo.Compiled, cycles int64, rate float64) {
 		for _, shards := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 				cfg := netsim.DefaultConfig()

@@ -23,7 +23,7 @@ import (
 // leaves every pair between groups 2 and 8... whichever two groups
 // the failed link connected... with zero surviving MIN paths, so MIN
 // routing must refuse and adaptive routing must go VLB-only.
-func degradedMask(tp *topo.Topology) *topo.FailureMask {
+func degradedMask(tp *topo.Compiled) *topo.FailureMask {
 	m := topo.NewFailureMask(tp)
 	if _, err := m.FailGlobalLink(tp.A/2, tp.H-1); err != nil {
 		panic(err)
@@ -40,7 +40,7 @@ func degradedMask(tp *topo.Topology) *topo.FailureMask {
 // degradedSchemes builds failure-aware routers over the degraded
 // store epoch (and one over an interpreted policy, exercising the
 // rejection-sampling path).
-func degradedSchemes(tp *topo.Topology, mask *topo.FailureMask) map[string]func() netsim.RoutingFunc {
+func degradedSchemes(tp *topo.Compiled, mask *topo.FailureMask) map[string]func() netsim.RoutingFunc {
 	full := paths.Full{T: tp}
 	degStore := paths.CompileDegraded(tp, full, mask)
 	withFail := func(u *routing.UGAL) netsim.RoutingFunc {
@@ -57,7 +57,7 @@ func degradedSchemes(tp *topo.Topology, mask *topo.FailureMask) map[string]func(
 
 // runDegraded builds and runs one degraded simulation at the given
 // shard and worker counts.
-func runDegraded(tp *topo.Topology, mask *topo.FailureMask, cfg netsim.Config,
+func runDegraded(tp *topo.Compiled, mask *topo.FailureMask, cfg netsim.Config,
 	rf netsim.RoutingFunc, rate float64, shards, workers int) netsim.RunResult {
 	cfg.Failures = mask
 	cfg.Shards = shards

@@ -341,7 +341,7 @@ type event struct {
 // the flit arena) rather than per-router structs: the allocator's hot
 // scan walks contiguous memory.
 type Network struct {
-	T   *topo.Topology
+	T   *topo.Compiled
 	Cfg Config
 
 	routing RoutingFunc
@@ -514,7 +514,7 @@ type ChannelStats struct {
 
 // New builds a simulation of pattern traffic at the given per-node
 // injection rate (packets/cycle/node) under a routing function.
-func New(t *topo.Topology, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate float64) *Network {
+func New(t *topo.Compiled, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate float64) *Network {
 	if cfg.NumVCs < 1 || cfg.BufSize < 1 || cfg.SpeedUp < 1 {
 		panic("netsim: invalid config")
 	}
@@ -620,6 +620,9 @@ func (n *Network) build() {
 		n.inChan[i] = chanRef{r: -1}
 	}
 	n.outPeer = make([]chanRef, sw*n.nonTerm)
+	for i := range n.outPeer {
+		n.outPeer[i] = chanRef{r: -1} // unwired until the loops below claim it
+	}
 	n.outLat = make([]int16, sw*n.nonTerm)
 	n.rrPort = make([]int32, sw)
 	n.flits = make([]int32, sw)
@@ -637,10 +640,14 @@ func (n *Network) build() {
 			n.outLat[u*n.nonTerm+pt-t.P] = int16(n.Cfg.LocalLatency)
 			n.inChan[v*n.ports+peerPt] = chanRef{r: int32(u), port: int8(pt)}
 		}
-		// Global channels.
+		// Global channels. Some families leave slots unwired (the
+		// swapped dragonfly's fixed points): those keep the -1 peer
+		// and no route ever selects them.
 		for gp := 0; gp < t.H; gp++ {
-			v := t.GlobalPeer(u, gp)
-			pgp := t.GlobalPeerPort(u, gp)
+			v, pgp, ok := t.GlobalPeerOK(u, gp)
+			if !ok {
+				continue
+			}
 			pt := t.GlobalPort(gp)
 			peerPt := t.GlobalPort(pgp)
 			n.outPeer[u*n.nonTerm+pt-t.P] = chanRef{r: int32(v), port: int8(peerPt)}

@@ -12,7 +12,7 @@ import (
 // minRouter is a tiny test routing function: always the first MIN
 // path, VC by phase (source-local 0, global 0, dest-local 1).
 type minRouter struct {
-	t *topo.Topology
+	t *topo.Compiled
 }
 
 func (m minRouter) Name() string { return "test-min" }

@@ -611,7 +611,11 @@ func (n *Network) routeAlive(sw int32, f *Flit) bool {
 		if fail.ChannelDead(cur, int(hop.Port)) {
 			return false
 		}
-		cur = n.T.PeerOfPort(cur, int(hop.Port))
+		next, ok := n.T.PeerOfPortOK(cur, int(hop.Port))
+		if !ok {
+			return false
+		}
+		cur = next
 	}
 	return !fail.SwitchDead(cur)
 }

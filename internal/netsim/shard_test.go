@@ -22,7 +22,7 @@ import (
 // forced to the shard count so `go test -race` drives true
 // multi-goroutine phases regardless of the CPU-token budget.
 
-func shardSchemes(t *topo.Topology) map[string]func() netsim.RoutingFunc {
+func shardSchemes(t *topo.Compiled) map[string]func() netsim.RoutingFunc {
 	full := paths.Full{T: t}
 	strat := paths.Strategic{T: t, FirstLeg: 2}
 	fullSt := full.Compile(t)
@@ -41,7 +41,7 @@ func shardSchemes(t *topo.Topology) map[string]func() netsim.RoutingFunc {
 	}
 }
 
-func shardPatterns(t *topo.Topology) map[string]func() traffic.Pattern {
+func shardPatterns(t *topo.Compiled) map[string]func() traffic.Pattern {
 	return map[string]func() traffic.Pattern{
 		"uniform": func() traffic.Pattern { return traffic.Uniform{T: t} },
 		"tmixed": func() traffic.Pattern {
@@ -52,7 +52,7 @@ func shardPatterns(t *topo.Topology) map[string]func() traffic.Pattern {
 }
 
 // runSharded builds and runs one simulation at the given shard count.
-func runSharded(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+func runSharded(t *topo.Compiled, cfg netsim.Config, rf netsim.RoutingFunc,
 	pat traffic.Pattern, rate float64, shards int) netsim.RunResult {
 	cfg.Shards = shards
 	if shards > 1 {

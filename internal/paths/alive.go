@@ -29,7 +29,7 @@ func Alive(m *topo.FailureMask, p Path) bool {
 // EnumerateMinAlive is EnumerateMin restricted to paths surviving the
 // mask: the order is a stable subsequence of EnumerateMin's, so
 // degraded analyses accumulate in a reproducible order.
-func EnumerateMinAlive(t *topo.Topology, m *topo.FailureMask, s, d int) []Path {
+func EnumerateMinAlive(t *topo.Compiled, m *topo.FailureMask, s, d int) []Path {
 	if m == nil {
 		return EnumerateMin(t, s, d)
 	}
@@ -63,7 +63,7 @@ func EnumerateMinAlive(t *topo.Topology, m *topo.FailureMask, s, d int) []Path {
 // survives the mask. The global channel itself is alive by
 // construction (l came from the mask's filtered link list); the local
 // legs still need checking.
-func minLinkAlive(t *topo.Topology, m *topo.FailureMask, s, d int, l topo.GlobalLink) bool {
+func minLinkAlive(t *topo.Compiled, m *topo.FailureMask, s, d int, l topo.GlobalLink) bool {
 	u, v := int(l.From), int(l.To)
 	if u != s && m.ChannelDead(s, t.LocalPort(s, u)) {
 		return false
@@ -79,7 +79,7 @@ func minLinkAlive(t *topo.Topology, m *topo.FailureMask, s, d int, l topo.Global
 // the mask leaves the pair without a MIN path (then the router must
 // fall back to a surviving VLB candidate or refuse the packet). A nil
 // mask is exactly SampleMinInto.
-func SampleMinAliveInto(t *topo.Topology, m *topo.FailureMask, r *rng.Source, s, d int, dst *Path) bool {
+func SampleMinAliveInto(t *topo.Compiled, m *topo.FailureMask, r *rng.Source, s, d int, dst *Path) bool {
 	if m == nil {
 		SampleMinInto(t, r, s, d, dst)
 		return true
@@ -140,7 +140,7 @@ func SampleMinAliveInto(t *topo.Topology, m *topo.FailureMask, r *rng.Source, s,
 // channel every pair between its two groups, for a dead local channel
 // u->v every pair out of u and every pair into v. The result is
 // deduplicated but unsorted.
-func MinDirtyPairs(t *topo.Topology, chs []topo.Channel) [][2]int32 {
+func MinDirtyPairs(t *topo.Compiled, chs []topo.Channel) [][2]int32 {
 	n := t.NumSwitches()
 	seen := make([]bool, n*n)
 	var out [][2]int32

@@ -36,7 +36,13 @@ func (st *Store) BuildEdgeIndex() {
 	peer := make([]int32, nch)
 	for sw := 0; sw < t.NumSwitches(); sw++ {
 		for pt := t.P; pt < t.Radix(); pt++ {
-			peer[sw*nonTerm+pt-t.P] = int32(t.PeerOfPort(sw, pt))
+			if v, ok := t.PeerOfPortOK(sw, pt); ok {
+				peer[sw*nonTerm+pt-t.P] = int32(v)
+			} else {
+				// Unwired slot (no stored path crosses it): keep a
+				// sentinel so a bad walk fails loudly downstream.
+				peer[sw*nonTerm+pt-t.P] = -1
+			}
 		}
 	}
 	start := make([]int32, nch+1)
@@ -104,7 +110,11 @@ func (st *Store) baseAlive(mask *topo.FailureMask, src int, id int32) bool {
 		if mask.ChannelDead(cur, pt) {
 			return false
 		}
-		cur = st.T.PeerOfPort(cur, pt)
+		next, ok := st.T.PeerOfPortOK(cur, pt)
+		if !ok {
+			return false
+		}
+		cur = next
 	}
 	return true
 }
@@ -237,7 +247,7 @@ func (st *Store) ApplyFailures(mask *topo.FailureMask, newlyDead []topo.Channel)
 // ApplyFailures reproduces incrementally. A policy that already is a
 // Store is recompiled via ApplyFailures over the full dead-channel
 // list.
-func CompileDegraded(t *topo.Topology, pol Policy, mask *topo.FailureMask) *Store {
+func CompileDegraded(t *topo.Compiled, pol Policy, mask *topo.FailureMask) *Store {
 	if mask == nil {
 		return pol.Compile(t)
 	}
@@ -251,7 +261,7 @@ func CompileDegraded(t *topo.Topology, pol Policy, mask *topo.FailureMask) *Stor
 // TryCompileDegraded is TryCompile under a failure mask: ok=false
 // when the estimated pristine size exceeds the budget (the degraded
 // set is never larger).
-func TryCompileDegraded(t *topo.Topology, pol Policy, budget int64, mask *topo.FailureMask) (*Store, bool) {
+func TryCompileDegraded(t *topo.Compiled, pol Policy, budget int64, mask *topo.FailureMask) (*Store, bool) {
 	if mask == nil {
 		return TryCompile(t, pol, budget)
 	}

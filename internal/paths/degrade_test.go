@@ -12,26 +12,26 @@ import (
 // newly dead channels.
 type failScenario struct {
 	name string
-	step func(t *topo.Topology, m *topo.FailureMask) []topo.Channel
+	step func(t *topo.Compiled, m *topo.FailureMask) []topo.Channel
 }
 
 func failSteps() []failScenario {
 	return []failScenario{
-		{"global-link", func(t *topo.Topology, m *topo.FailureMask) []topo.Channel {
+		{"global-link", func(t *topo.Compiled, m *topo.FailureMask) []topo.Channel {
 			d, err := m.FailGlobalLink(t.A/2, t.H-1)
 			if err != nil {
 				panic(err)
 			}
 			return d
 		}},
-		{"local-link", func(t *topo.Topology, m *topo.FailureMask) []topo.Channel {
+		{"local-link", func(t *topo.Compiled, m *topo.FailureMask) []topo.Channel {
 			d, err := m.FailLocalLink(t.SwitchID(1, 0), t.SwitchID(1, 1))
 			if err != nil {
 				panic(err)
 			}
 			return d
 		}},
-		{"switch", func(t *topo.Topology, m *topo.FailureMask) []topo.Channel {
+		{"switch", func(t *topo.Compiled, m *topo.FailureMask) []topo.Channel {
 			d, err := m.FailSwitch(t.SwitchID(t.G-1, 0))
 			if err != nil {
 				panic(err)
@@ -55,7 +55,7 @@ func TestApplyFailuresMatchesFromScratch(t *testing.T) {
 		tp := topo.MustNew(pr.P, pr.A, pr.H, pr.G)
 		for _, pol := range []Policy{Full{T: tp}, Strategic{T: tp, FirstLeg: 2}} {
 			pol := pol
-			t.Run(fmt.Sprintf("%s/%s", tp.Params, pol.Name()), func(t *testing.T) {
+			t.Run(fmt.Sprintf("%s/%s", tp.Label(), pol.Name()), func(t *testing.T) {
 				n := tp.NumSwitches()
 				mask := topo.NewFailureMask(tp)
 				cur := pol.Compile(tp)
@@ -205,7 +205,7 @@ func TestDegradedTwinsAndRemoval(t *testing.T) {
 					st.MaterializeInto(s, id, &p)
 					if got, want := out.Contains(s, d, p), !removed[id]; got != want {
 						t.Fatalf("%s: pair (%d,%d) path %v: Contains=%v, removed=%v",
-							tp.Params, s, d, p, got, removed[id])
+							tp.Label(), s, d, p, got, removed[id])
 					}
 				}
 			}

@@ -86,7 +86,7 @@ func (p Path) String() string {
 }
 
 // GlobalHops counts the global links on the path.
-func GlobalHops(t *topo.Topology, p Path) int {
+func GlobalHops(t *topo.Compiled, p Path) int {
 	n := 0
 	for _, pt := range p.Ports {
 		if t.KindOfPort(int(pt)) == topo.Global {
@@ -98,7 +98,7 @@ func GlobalHops(t *topo.Topology, p Path) int {
 
 // Validate checks that the path is structurally sound: every hop uses
 // a port of the stated kind that actually reaches the next switch.
-func Validate(t *topo.Topology, p Path) error {
+func Validate(t *topo.Compiled, p Path) error {
 	if len(p.Sw) == 0 {
 		return fmt.Errorf("paths: empty path")
 	}
@@ -119,7 +119,7 @@ func Validate(t *topo.Topology, p Path) error {
 }
 
 // ValidateMin additionally checks the MIN property (<=1 global hop).
-func ValidateMin(t *topo.Topology, p Path) error {
+func ValidateMin(t *topo.Compiled, p Path) error {
 	if err := Validate(t, p); err != nil {
 		return err
 	}
@@ -135,7 +135,7 @@ func ValidateMin(t *topo.Topology, p Path) error {
 // the same switch (always the case with one link per group pair, as
 // on maximal Dragonflies), the path hairpins through it — but it may
 // never use the same directed channel twice.
-func ValidateVLB(t *topo.Topology, p Path) error {
+func ValidateVLB(t *topo.Compiled, p Path) error {
 	if err := Validate(t, p); err != nil {
 		return err
 	}
@@ -160,7 +160,7 @@ func ValidateVLB(t *topo.Topology, p Path) error {
 // Same switch: one zero-hop path. Same group: the single local hop.
 // Different groups: one path per global link between the groups
 // (1-3 hops depending on whether s/d host the link endpoints).
-func EnumerateMin(t *topo.Topology, s, d int) []Path {
+func EnumerateMin(t *topo.Compiled, s, d int) []Path {
 	if s == d {
 		return []Path{{Sw: []int32{int32(s)}}}
 	}
@@ -179,7 +179,7 @@ func EnumerateMin(t *topo.Topology, s, d int) []Path {
 }
 
 // minViaLink builds the MIN path s -> (link.From) -> (link.To) -> d.
-func minViaLink(t *topo.Topology, s, d int, l topo.GlobalLink) Path {
+func minViaLink(t *topo.Compiled, s, d int, l topo.GlobalLink) Path {
 	p := Path{Sw: make([]int32, 0, 4), Ports: make([]int8, 0, 3)}
 	p.Sw = append(p.Sw, int32(s))
 	u, v := int(l.From), int(l.To)
@@ -227,7 +227,7 @@ func join(leg1, leg2 Path) (Path, bool) {
 // combinations of MIN(s,i) and MIN(i,d) over intermediates i outside
 // both endpoint groups. For a same-group pair it returns the 2-hop
 // in-group detours. Same-switch pairs have no VLB paths.
-func EnumerateVLB(t *topo.Topology, s, d int) []Path {
+func EnumerateVLB(t *topo.Compiled, s, d int) []Path {
 	return EnumerateVLBMax(t, s, d, MaxVLBHops)
 }
 
@@ -237,7 +237,7 @@ func EnumerateVLB(t *topo.Topology, s, d int) []Path {
 // compiling a length-restricted policy never materializes the paths
 // its filter would reject anyway. Enumeration order is a stable
 // subsequence of the full EnumerateVLB order.
-func EnumerateVLBMax(t *topo.Topology, s, d, maxHops int) []Path {
+func EnumerateVLBMax(t *topo.Compiled, s, d, maxHops int) []Path {
 	if s == d || maxHops < 2 {
 		return nil
 	}
@@ -282,7 +282,7 @@ func EnumerateVLBMax(t *topo.Topology, s, d, maxHops int) []Path {
 
 // CountVLBByHops histograms the full VLB path set of a pair by hop
 // count; index i holds the number of i-hop paths.
-func CountVLBByHops(t *topo.Topology, s, d int) [MaxVLBHops + 1]int {
+func CountVLBByHops(t *topo.Compiled, s, d int) [MaxVLBHops + 1]int {
 	var hist [MaxVLBHops + 1]int
 	for _, p := range EnumerateVLB(t, s, d) {
 		hist[p.Hops()]++
@@ -292,7 +292,7 @@ func CountVLBByHops(t *topo.Topology, s, d int) [MaxVLBHops + 1]int {
 
 // SampleMin draws a uniformly random MIN path for the pair, matching
 // UGAL's single random MIN candidate.
-func SampleMin(t *topo.Topology, r *rng.Source, s, d int) Path {
+func SampleMin(t *topo.Compiled, r *rng.Source, s, d int) Path {
 	var p Path
 	SampleMinInto(t, r, s, d, &p)
 	return p
@@ -300,7 +300,7 @@ func SampleMin(t *topo.Topology, r *rng.Source, s, d int) Path {
 
 // SampleMinInto is SampleMin writing into dst's backing storage —
 // the simulator's per-packet hot path.
-func SampleMinInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) {
+func SampleMinInto(t *topo.Compiled, r *rng.Source, s, d int, dst *Path) {
 	dst.Sw = append(dst.Sw[:0], int32(s))
 	dst.Ports = dst.Ports[:0]
 	if s == d {
@@ -334,7 +334,7 @@ func SampleMinInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) {
 // intra-group). Because the two legs live in disjoint group pairs, a
 // sampled path can never reuse a directed channel, so no join check
 // is needed (the enumerator's join keeps one for generality).
-func sampleVLBOnceInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) bool {
+func sampleVLBOnceInto(t *topo.Compiled, r *rng.Source, s, d int, dst *Path) bool {
 	if s == d {
 		return false
 	}
@@ -395,7 +395,7 @@ func sampleVLBOnceInto(t *topo.Topology, r *rng.Source, s, d int, dst *Path) boo
 }
 
 // sampleVLBOnce is sampleVLBOnceInto into a fresh Path.
-func sampleVLBOnce(t *topo.Topology, r *rng.Source, s, d int) (Path, bool) {
+func sampleVLBOnce(t *topo.Compiled, r *rng.Source, s, d int) (Path, bool) {
 	var p Path
 	ok := sampleVLBOnceInto(t, r, s, d, &p)
 	return p, ok

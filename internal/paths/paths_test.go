@@ -301,7 +301,7 @@ func TestExplicitRemoval(t *testing.T) {
 // TestPathValidityProperty checks MIN and VLB validity over random
 // pairs and topologies via testing/quick.
 func TestPathValidityProperty(t *testing.T) {
-	topos := []*topo.Topology{
+	topos := []*topo.Compiled{
 		topo.MustNew(2, 4, 2, 9),
 		topo.MustNew(2, 4, 2, 5),
 		topo.MustNew(1, 2, 1, 3),

@@ -33,7 +33,7 @@ type Policy interface {
 	// allocation-free sampling. Compilation enumerates every pair —
 	// gate it with TryCompile on topologies whose path count may
 	// exceed memory.
-	Compile(t *topo.Topology) *Store
+	Compile(t *topo.Compiled) *Store
 }
 
 // StoredFilter is an optional Policy refinement: deciding membership
@@ -66,7 +66,7 @@ const sampleAttempts = 64
 
 // Full is conventional UGAL's policy: every VLB path is a candidate.
 type Full struct {
-	T *topo.Topology
+	T *topo.Compiled
 }
 
 // Name implements Policy.
@@ -91,7 +91,7 @@ func (f Full) Enumerate(s, d int) []Path { return EnumerateVLB(f.T, s, d) }
 func (f Full) Contains(_, _ int, _ Path) bool { return true }
 
 // Compile implements Policy.
-func (f Full) Compile(t *topo.Topology) *Store { return compileStore(t, f, MaxVLBHops) }
+func (f Full) Compile(t *topo.Compiled) *Store { return compileStore(t, f, MaxVLBHops) }
 
 // AllowsStored implements StoredFilter.
 func (f Full) AllowsStored(*Store, int, int, PathID) bool { return true }
@@ -107,7 +107,7 @@ func (f Full) AllowsKeyed(int, uint64) bool { return true }
 // lets T-VLB scale to dfly(13,26,13,27) without materializing half a
 // billion paths.
 type LengthCapped struct {
-	T       *topo.Topology
+	T       *topo.Compiled
 	MaxHops int     // all paths with <= MaxHops hops are in
 	Frac    float64 // fraction of (MaxHops+1)-hop paths included
 	Seed    uint64  // subset selector
@@ -207,7 +207,7 @@ func (l LengthCapped) AllowsKeyed(hops int, key uint64) bool {
 
 // Compile implements Policy. Enumeration is pruned to MaxHops(+1)
 // hops, so compiling a tight cap is much cheaper than the full set.
-func (l LengthCapped) Compile(t *topo.Topology) *Store { return compileStore(t, l, hopCap(l)) }
+func (l LengthCapped) Compile(t *topo.Compiled) *Store { return compileStore(t, l, hopCap(l)) }
 
 // Strategic is the Step-2 deterministic expansion for the 50% 5-hop
 // vicinity: all VLB paths of at most 4 hops, plus exactly the 5-hop
@@ -215,7 +215,7 @@ func (l LengthCapped) Compile(t *topo.Topology) *Store { return compileStore(t, 
 // (5-FirstLeg)-hop MIN leg. FirstLeg is 2 or 3; the two choices are
 // the paper's "all 2-hop MIN followed by 3-hop MIN" and its mirror.
 type Strategic struct {
-	T        *topo.Topology
+	T        *topo.Compiled
 	FirstLeg int
 }
 
@@ -230,7 +230,7 @@ func (s Strategic) Name() string {
 // hop, one global hop, at most one local hop). The distinction
 // matters: a "g l l g l" path is only a 2-hop-MIN + 3-hop-MIN
 // composition, while "l g l g l" decomposes both as 2+3 and 3+2.
-func legSplits(t *topo.Topology, p Path) [][2]int {
+func legSplits(t *topo.Compiled, p Path) [][2]int {
 	var out [][2]int
 	if p.Hops() < 2 {
 		return out
@@ -254,7 +254,7 @@ func legSplits(t *topo.Topology, p Path) [][2]int {
 // minShape reports whether a hop sequence has the inter-group MIN
 // form (l?) g (l?): exactly one global hop, at most one local hop on
 // each side.
-func minShape(t *topo.Topology, ports []int8) bool {
+func minShape(t *topo.Compiled, ports []int8) bool {
 	if len(ports) < 1 || len(ports) > 3 {
 		return false
 	}
@@ -331,7 +331,7 @@ func (s Strategic) Enumerate(src, dst int) []Path {
 func (s Strategic) Contains(src, dst int, p Path) bool { return s.allows(src, dst, p) }
 
 // Compile implements Policy (strategic sets never exceed 5 hops).
-func (s Strategic) Compile(t *topo.Topology) *Store { return compileStore(t, s, hopCap(s)) }
+func (s Strategic) Compile(t *topo.Compiled) *Store { return compileStore(t, s, hopCap(s)) }
 
 // Explicit wraps any base policy with a removal set, the output of
 // Algorithm 1's load-balance adjustment ("removing paths that cause
@@ -407,4 +407,4 @@ func (e *Explicit) Contains(s, d int, p Path) bool {
 }
 
 // Compile implements Policy, inheriting the base policy's hop cap.
-func (e *Explicit) Compile(t *topo.Topology) *Store { return compileStore(t, e, hopCap(e)) }
+func (e *Explicit) Compile(t *topo.Compiled) *Store { return compileStore(t, e, hopCap(e)) }

@@ -36,7 +36,7 @@ var DefaultCompileBudget int64 = 9 << 20
 // pool with no synchronization, and routing.CloneRouting copies only
 // the pointer.
 type Store struct {
-	T *topo.Topology
+	T *topo.Compiled
 	// Label overrides the derived name in experiment output.
 	Label string
 
@@ -104,7 +104,7 @@ func (st *Store) Epoch() int { return st.epoch }
 // hop cap) and packs every member path into the arena. Per-pair path
 // order is exactly the policy's Enumerate order, so analyses that
 // walk paths in order behave identically on the compiled form.
-func compileStore(t *topo.Topology, pol Policy, maxHops int) *Store {
+func compileStore(t *topo.Compiled, pol Policy, maxHops int) *Store {
 	return compileStoreMasked(t, pol, maxHops, nil)
 }
 
@@ -112,7 +112,7 @@ func compileStore(t *topo.Topology, pol Policy, maxHops int) *Store {
 // channel of mask excluded. Per-pair order is the policy's Enumerate
 // order filtered by aliveness — exactly the sequence ApplyFailures
 // produces incrementally, which is what makes the two bit-identical.
-func compileStoreMasked(t *topo.Topology, pol Policy, maxHops int, mask *topo.FailureMask) *Store {
+func compileStoreMasked(t *topo.Compiled, pol Policy, maxHops int, mask *topo.FailureMask) *Store {
 	start := time.Now()
 	n := t.NumSwitches()
 	_, isFull := pol.(Full)
@@ -169,7 +169,7 @@ func hopCap(pol Policy) int {
 // sampled inter-group pair enumerations scaled to the pair count.
 // The estimate is a mild overestimate (it scales by the largest
 // sampled pair), which is the safe direction for a budget check.
-func EstimatePaths(t *topo.Topology, pol Policy) int64 {
+func EstimatePaths(t *topo.Compiled, pol Policy) int64 {
 	if st, ok := pol.(*Store); ok {
 		return int64(st.NumPaths())
 	}
@@ -212,7 +212,7 @@ func EstimatePaths(t *topo.Topology, pol Policy) int64 {
 // TryCompile compiles pol into a Store when its estimated size fits
 // the budget (<=0 means unlimited); ok=false leaves the interpreted
 // policy in charge. A policy that already is a Store passes through.
-func TryCompile(t *topo.Topology, pol Policy, budget int64) (*Store, bool) {
+func TryCompile(t *topo.Compiled, pol Policy, budget int64) (*Store, bool) {
 	if st, ok := pol.(*Store); ok {
 		return st, true
 	}
@@ -231,7 +231,7 @@ func (st *Store) Name() string {
 }
 
 // Compile implements Policy: a Store is already compiled.
-func (st *Store) Compile(*topo.Topology) *Store { return st }
+func (st *Store) Compile(*topo.Compiled) *Store { return st }
 
 // NumPaths returns the size of the PathID space: base plus patch
 // arena entries. On an overlay store some IDs belong to superseded
@@ -269,7 +269,11 @@ func (st *Store) MaterializeInto(src int, id PathID, dst *Path) {
 	cur := src
 	for i := 0; i < h; i++ {
 		pt := ports[i]
-		cur = st.T.PeerOfPort(cur, int(pt))
+		next, ok := st.T.PeerOfPortOK(cur, int(pt))
+		if !ok {
+			break // corrupt arena entry; stored ports are always wired
+		}
+		cur = next
 		dst.Sw = append(dst.Sw, int32(cur))
 		dst.Ports = append(dst.Ports, pt)
 	}
@@ -286,7 +290,11 @@ func (st *Store) KeyOf(src int, id PathID) uint64 {
 	for i := 0; i < n; i++ {
 		pt := ports[i]
 		h = rng.Mix(h, uint64(uint8(pt)))
-		cur = st.T.PeerOfPort(cur, int(pt))
+		next, ok := st.T.PeerOfPortOK(cur, int(pt))
+		if !ok {
+			break
+		}
+		cur = next
 		h = rng.Mix(h, uint64(int32(cur)))
 	}
 	return h

@@ -12,7 +12,7 @@ import (
 // suite compiles: the conventional set, the Table-1 length-capped
 // family (with and without a hashed 5-hop fraction), both strategic
 // expansions, and a removal-adjusted set.
-func storePolicies(t *topo.Topology) []Policy {
+func storePolicies(t *topo.Compiled) []Policy {
 	capped := LengthCapped{T: t, MaxHops: 4, Frac: 0.5, Seed: 7}
 	adj := NewExplicit(capped)
 	// Remove a few real paths so the Explicit case is non-trivial.

@@ -52,7 +52,7 @@ func (s Strategy) String() string {
 
 // Map returns place[rank] = node for nRanks ranks (nRanks <= number
 // of nodes). Every strategy yields an injective mapping.
-func Map(t *topo.Topology, nRanks int, s Strategy, seed uint64) ([]int32, error) {
+func Map(t *topo.Compiled, nRanks int, s Strategy, seed uint64) ([]int32, error) {
 	n := t.NumNodes()
 	if nRanks < 1 || nRanks > n {
 		return nil, fmt.Errorf("placement: %d ranks on %d nodes", nRanks, n)
@@ -144,7 +144,7 @@ func (HalfShift) PeerOf(rank, nRanks int) int { return (rank + nRanks/2) % nRank
 // silent. It implements traffic.Deterministic, so it works with both
 // the simulator and the throughput model.
 type Placed struct {
-	t       *topo.Topology
+	t       *topo.Compiled
 	rp      RankPattern
 	place   []int32
 	rankOf  []int32 // node -> rank, -1 if none
@@ -152,7 +152,7 @@ type Placed struct {
 }
 
 // NewPlaced builds the node-level pattern.
-func NewPlaced(t *topo.Topology, rp RankPattern, place []int32, strategyName string) *Placed {
+func NewPlaced(t *topo.Compiled, rp RankPattern, place []int32, strategyName string) *Placed {
 	rankOf := make([]int32, t.NumNodes())
 	for i := range rankOf {
 		rankOf[i] = -1

@@ -71,7 +71,7 @@ const (
 // keep per-packet scratch buffers and are NOT safe for concurrent
 // use: create one per concurrently running simulation.
 type UGAL struct {
-	T      *topo.Topology
+	T      *topo.Compiled
 	Policy paths.Policy
 	Mode   Mode
 	Scheme VCScheme
@@ -147,32 +147,32 @@ func (u *UGAL) sampleVLB(r *rng.Source, s, d int) bool {
 // uses paths.Full; passing a T-VLB policy yields the T- variant.
 
 // NewUGALL builds UGAL-L (or T-UGAL-L under a custom policy).
-func NewUGALL(t *topo.Topology, pol paths.Policy) *UGAL {
+func NewUGALL(t *topo.Compiled, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: Local}
 }
 
 // NewUGALG builds UGAL-G (or T-UGAL-G under a custom policy).
-func NewUGALG(t *topo.Topology, pol paths.Policy) *UGAL {
+func NewUGALG(t *topo.Compiled, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: Global}
 }
 
 // NewPAR builds PAR (or T-PAR under a custom policy).
-func NewPAR(t *topo.Topology, pol paths.Policy) *UGAL {
+func NewPAR(t *topo.Compiled, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: Progressive}
 }
 
 // NewPiggyback builds UGAL-PB (or T-UGAL-PB under a custom policy).
-func NewPiggyback(t *topo.Topology, pol paths.Policy) *UGAL {
+func NewPiggyback(t *topo.Compiled, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: Piggyback}
 }
 
 // NewMin builds the pure minimal-routing baseline.
-func NewMin(t *topo.Topology) *UGAL {
+func NewMin(t *topo.Compiled) *UGAL {
 	return &UGAL{T: t, Policy: paths.Full{T: t}, Mode: MinOnly}
 }
 
 // NewVLB builds the pure Valiant baseline over a policy's path set.
-func NewVLB(t *topo.Topology, pol paths.Policy) *UGAL {
+func NewVLB(t *topo.Compiled, pol paths.Policy) *UGAL {
 	return &UGAL{T: t, Policy: pol, Mode: VLBOnly}
 }
 
@@ -224,7 +224,7 @@ func (u *UGAL) Name() string {
 // globalTaken and hopsTaken describe hops already executed (non-zero
 // only for PAR revision mid-route). VCs are clamped to the
 // configured budget; the default budgets never clamp.
-func appendHops(route []netsim.RouteHop, t *topo.Topology, numVCs int,
+func appendHops(route []netsim.RouteHop, t *topo.Compiled, numVCs int,
 	scheme VCScheme, srcBudget int, p paths.Path, localInPhase, globalTaken, hopsTaken int) []netsim.RouteHop {
 	for _, pt := range p.Ports {
 		var vc int
@@ -280,7 +280,7 @@ func globalCost(n *netsim.Network, p paths.Path) int {
 // the credit occupancy of the path's first global channel when its
 // gateway lies in the source group — information a PB router has
 // from in-group broadcasts — scaled by path length.
-func piggybackCost(n *netsim.Network, t *topo.Topology, p paths.Path) int {
+func piggybackCost(n *netsim.Network, t *topo.Compiled, p paths.Path) int {
 	if p.Hops() == 0 {
 		return 0
 	}

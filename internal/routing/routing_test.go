@@ -10,7 +10,7 @@ import (
 	"tugal/internal/traffic"
 )
 
-func mkNet(t *topo.Topology, rf netsim.RoutingFunc, vcs int) *netsim.Network {
+func mkNet(t *topo.Compiled, rf netsim.RoutingFunc, vcs int) *netsim.Network {
 	cfg := netsim.DefaultConfig()
 	cfg.NumVCs = vcs
 	return netsim.New(t, cfg, rf, traffic.Uniform{T: t}, 0.0)
@@ -40,7 +40,7 @@ func rank(kind topo.PortKind, vc, sb int) int {
 
 // checkRoute validates a computed route: adjacency, ejection hop,
 // VC budget, and strictly increasing rank under PhaseVC.
-func checkRoute(t *testing.T, tp *topo.Topology, f *netsim.Flit, numVCs, sb int) {
+func checkRoute(t *testing.T, tp *topo.Compiled, f *netsim.Flit, numVCs, sb int) {
 	t.Helper()
 	if len(f.Route) == 0 {
 		t.Fatal("empty route")

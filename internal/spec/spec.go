@@ -17,31 +17,81 @@ import (
 	"tugal/internal/traffic"
 )
 
-// Topology parses "p,a,h,g[,relative]".
-func Topology(s string) (*topo.Topology, error) {
-	parts := strings.Split(s, ",")
-	if len(parts) < 4 || len(parts) > 5 {
-		return nil, fmt.Errorf("spec: topology %q, want \"p,a,h,g[,arrangement]\"", s)
+// TopologyUsage is the one-line grammar of Topology, for flag usage
+// strings.
+const TopologyUsage = `topology: dfly(p,a,h,g[,arrangement]), d3(K,M[,p]), or legacy "p,a,h,g[,arrangement]"`
+
+// Topology parses a family-qualified topology spec:
+//
+//	dfly(p,a,h,g)            — dragonfly, absolute arrangement
+//	dfly(p,a,h,g,relative)   — dragonfly, relative arrangement
+//	d3(K,M)                  — swapped dragonfly, 1 terminal/switch
+//	d3(K,M,p)                — swapped dragonfly, p terminals/switch
+//	p,a,h,g[,arrangement]    — legacy bare dragonfly form
+func Topology(s string) (*topo.Compiled, error) {
+	s = strings.TrimSpace(s)
+	if fam, args, ok := splitFamily(s); ok {
+		switch fam {
+		case "dfly", "dragonfly":
+			return dflyFromArgs(s, args)
+		case "d3":
+			return d3FromArgs(s, args)
+		default:
+			return nil, fmt.Errorf("spec: topology %q: unknown family %q (want dfly or d3); %s", s, fam, TopologyUsage)
+		}
+	}
+	// Legacy bare form "p,a,h,g[,arrangement]".
+	return dflyFromArgs(s, strings.Split(s, ","))
+}
+
+// splitFamily recognizes "name(arg,arg,...)" and returns the family
+// name and comma-split argument list.
+func splitFamily(s string) (fam string, args []string, ok bool) {
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, false
+	}
+	return strings.TrimSpace(s[:open]), strings.Split(s[open+1:len(s)-1], ","), true
+}
+
+func dflyFromArgs(s string, args []string) (*topo.Compiled, error) {
+	if len(args) < 4 || len(args) > 5 {
+		return nil, fmt.Errorf("spec: topology %q: dfly wants 4 int parameters p,a,h,g plus an optional arrangement; %s", s, TopologyUsage)
 	}
 	var v [4]int
 	for i := 0; i < 4; i++ {
-		x, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+		x, err := strconv.Atoi(strings.TrimSpace(args[i]))
 		if err != nil {
-			return nil, fmt.Errorf("spec: topology %q: %v", s, err)
+			return nil, fmt.Errorf("spec: topology %q: parameter %d: %v", s, i+1, err)
 		}
 		v[i] = x
 	}
 	arr := topo.Absolute
-	if len(parts) == 5 {
-		switch strings.TrimSpace(parts[4]) {
+	if len(args) == 5 {
+		switch strings.TrimSpace(args[4]) {
 		case "absolute", "":
 		case "relative":
 			arr = topo.Relative
 		default:
-			return nil, fmt.Errorf("spec: unknown arrangement %q", parts[4])
+			return nil, fmt.Errorf("spec: topology %q: unknown arrangement %q (want absolute or relative)", s, args[4])
 		}
 	}
 	return topo.NewArranged(v[0], v[1], v[2], v[3], arr)
+}
+
+func d3FromArgs(s string, args []string) (*topo.Compiled, error) {
+	if len(args) < 2 || len(args) > 3 {
+		return nil, fmt.Errorf("spec: topology %q: d3 wants 2 or 3 int parameters K,M[,p]; %s", s, TopologyUsage)
+	}
+	var v [3]int // v[2]=0 selects the family's default p=1
+	for i := range args {
+		x, err := strconv.Atoi(strings.TrimSpace(args[i]))
+		if err != nil {
+			return nil, fmt.Errorf("spec: topology %q: parameter %d: %v", s, i+1, err)
+		}
+		v[i] = x
+	}
+	return topo.NewD3(v[0], v[1], v[2])
 }
 
 // Policy parses a path-policy spec:
@@ -49,7 +99,7 @@ func Topology(s string) (*topo.Topology, error) {
 //	full | all
 //	strategic[:firstLeg]
 //	capped:<maxHops>[:frac]
-func Policy(t *topo.Topology, s string, seed uint64) (paths.Policy, error) {
+func Policy(t *topo.Compiled, s string, seed uint64) (paths.Policy, error) {
 	parts := strings.Split(s, ":")
 	switch parts[0] {
 	case "full", "all", "":
@@ -95,7 +145,7 @@ func Policy(t *topo.Topology, s string, seed uint64) (paths.Policy, error) {
 //	tornado | transpose | bitcomp | bitrev | alltoall | stencil3d
 //	hotspot[:n[:pct]]
 //	ring@<placement> | halfshift@<placement> | pairs@<placement>
-func Pattern(t *topo.Topology, s string, seed uint64) (traffic.Pattern, error) {
+func Pattern(t *topo.Compiled, s string, seed uint64) (traffic.Pattern, error) {
 	if base, strat, ok := strings.Cut(s, "@"); ok {
 		return placedPattern(t, base, strat, seed)
 	}
@@ -163,7 +213,7 @@ func Pattern(t *topo.Topology, s string, seed uint64) (traffic.Pattern, error) {
 }
 
 // placedPattern handles "ring@group-rr"-style specs.
-func placedPattern(t *topo.Topology, base, strat string, seed uint64) (traffic.Pattern, error) {
+func placedPattern(t *topo.Compiled, base, strat string, seed uint64) (traffic.Pattern, error) {
 	var rp placement.RankPattern
 	switch base {
 	case "ring":
@@ -204,7 +254,7 @@ func placedPattern(t *topo.Topology, base, strat string, seed uint64) (traffic.P
 // Switch ids are flat (0..a*g-1), gp is 0..h-1. An empty spec
 // returns a nil mask (pristine topology). Repeating a failure is
 // accepted and idempotent, matching the FailureMask contract.
-func Failures(t *topo.Topology, s string) (*topo.FailureMask, error) {
+func Failures(t *topo.Compiled, s string) (*topo.FailureMask, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
@@ -258,14 +308,14 @@ func Failures(t *topo.Topology, s string) (*topo.FailureMask, error) {
 // Routing builds a routing function from its spec name, returning it
 // with the VC budget it requires. T- schemes use pol as their T-VLB
 // set; conventional schemes ignore pol.
-func Routing(t *topo.Topology, name string, pol paths.Policy) (netsim.RoutingFunc, int, error) {
+func Routing(t *topo.Compiled, name string, pol paths.Policy) (netsim.RoutingFunc, int, error) {
 	return routingWith(t, name, pol, paths.Full{T: t})
 }
 
 // routingWith is Routing with an explicit conventional policy, so a
 // suite can hand every conventional scheme one shared compiled store
 // instead of a fresh interpreted Full per entry.
-func routingWith(t *topo.Topology, name string, pol, conv paths.Policy) (netsim.RoutingFunc, int, error) {
+func routingWith(t *topo.Compiled, name string, pol, conv paths.Policy) (netsim.RoutingFunc, int, error) {
 	switch strings.ToLower(name) {
 	case "min":
 		return routing.NewMin(t), 4, nil

@@ -14,7 +14,7 @@ func TestTopologySpec(t *testing.T) {
 		t.Fatalf("topology: %v %v", tp, err)
 	}
 	tr, err := Topology("4,8,4,9,relative")
-	if err != nil || tr.Arr != topo.Relative {
+	if err != nil || tr.Net.(*topo.Dragonfly).Arr != topo.Relative {
 		t.Fatalf("relative topology: %v %v", tr, err)
 	}
 	for _, bad := range []string{"", "4,8,4", "4,8,4,9,weird", "a,8,4,9", "4,8,4,12"} {

@@ -18,7 +18,7 @@ import (
 // compileFor compiles a policy for an experiment's simulations when
 // it fits the store budget, reporting build time and arena size to
 // the pool observer; otherwise the interpreted policy is returned.
-func compileFor(pool *exec.Pool, t *topo.Topology, pol paths.Policy) paths.Policy {
+func compileFor(pool *exec.Pool, t *topo.Compiled, pol paths.Policy) paths.Policy {
 	st, ok := paths.TryCompile(t, pol, paths.DefaultCompileBudget)
 	if !ok {
 		return pol
@@ -35,7 +35,7 @@ func compileFor(pool *exec.Pool, t *topo.Topology, pol paths.Policy) paths.Polic
 //	{
 //	  "experiments": [{
 //	    "name": "adv-g9",
-//	    "topology": "4,8,4,9",
+//	    "topology": "dfly(4,8,4,9)",
 //	    "pattern": "shift:2:0",
 //	    "routing": ["ugal-l", "t-ugal-l"],
 //	    "policy": "strategic:2",

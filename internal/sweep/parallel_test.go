@@ -18,7 +18,7 @@ import (
 // stateful traffic patterns. Seeds derive from cfg.Seed exactly as
 // before; results are written by index.
 
-func detSchemes(t *topo.Topology) map[string]func() netsim.RoutingFunc {
+func detSchemes(t *topo.Compiled) map[string]func() netsim.RoutingFunc {
 	full := paths.Full{T: t}
 	strat := paths.Strategic{T: t, FirstLeg: 2}
 	// Store-backed variants: one immutable compiled store shared by
@@ -47,7 +47,7 @@ func detSchemes(t *topo.Topology) map[string]func() netsim.RoutingFunc {
 	}
 }
 
-func detPatterns(t *topo.Topology) map[string]PatternFactory {
+func detPatterns(t *topo.Compiled) map[string]PatternFactory {
 	return map[string]PatternFactory{
 		// TMIXED draws a fresh UR-vs-ADV decision per packet — the
 		// adversarial stateful-ish pattern the issue singles out.

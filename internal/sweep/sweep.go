@@ -128,7 +128,7 @@ type pointJSON struct {
 
 // RunPoint simulates one (routing, pattern, rate) point over seeds
 // and aggregates, scheduling the seeds on the default pool.
-func RunPoint(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+func RunPoint(t *topo.Compiled, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, rate float64, w Windows, seeds int) Point {
 	return RunPointOn(exec.Default(), t, cfg, rf, pf, rate, w, seeds)
 }
@@ -138,7 +138,7 @@ func RunPoint(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 // seed derived as rng.Hash64(cfg.Seed, seedIndex)); per-seed results
 // land in a slice by index and are aggregated in seed order, so the
 // point is bit-identical whatever the pool's worker count.
-func RunPointOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+func RunPointOn(pool *exec.Pool, t *topo.Compiled, cfg netsim.Config,
 	rf netsim.RoutingFunc, pf PatternFactory, rate float64, w Windows, seeds int) Point {
 	if seeds < 1 {
 		seeds = 1
@@ -234,7 +234,7 @@ func (c Curve) LatencyAt(load float64) float64 {
 }
 
 // LatencyCurve sweeps the given rates on the default pool.
-func LatencyCurve(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+func LatencyCurve(t *topo.Compiled, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, rates []float64, w Windows, seeds int) Curve {
 	return LatencyCurveOn(exec.Default(), t, cfg, rf, pf, rates, w, seeds)
 }
@@ -243,7 +243,7 @@ func LatencyCurve(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 // concurrently, each on its own routing clone; every point derives
 // its seeds from cfg.Seed alone, so the curve is deterministic for
 // any worker count.
-func LatencyCurveOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+func LatencyCurveOn(pool *exec.Pool, t *topo.Compiled, cfg netsim.Config,
 	rf netsim.RoutingFunc, pf PatternFactory, rates []float64, w Windows, seeds int) Curve {
 	c := Curve{Name: rf.Name(), Points: make([]Point, len(rates))}
 	pool.Run("curve/"+rf.Name(), len(rates), func(i int) int64 {
@@ -260,7 +260,7 @@ func LatencyCurveOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
 var saturationProbes = []float64{0.25, 0.5, 0.75, 1.0}
 
 // Saturation searches the saturation throughput on the default pool.
-func Saturation(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
+func Saturation(t *topo.Compiled, cfg netsim.Config, rf netsim.RoutingFunc,
 	pf PatternFactory, w Windows, seeds int, resolution float64) float64 {
 	return SaturationOn(exec.Default(), t, cfg, rf, pf, w, seeds, resolution)
 }
@@ -271,7 +271,7 @@ func Saturation(t *topo.Topology, cfg netsim.Config, rf netsim.RoutingFunc,
 // pool; the refinement bisects the bracket sequentially (each probe
 // depends on the previous outcome). Deterministic: every probe is a
 // RunPointOn with seeds derived from cfg.Seed.
-func SaturationOn(pool *exec.Pool, t *topo.Topology, cfg netsim.Config,
+func SaturationOn(pool *exec.Pool, t *topo.Compiled, cfg netsim.Config,
 	rf netsim.RoutingFunc, pf PatternFactory, w Windows, seeds int, resolution float64) float64 {
 	if resolution <= 0 {
 		resolution = 0.01

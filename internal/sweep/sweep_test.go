@@ -13,7 +13,7 @@ import (
 	"tugal/internal/traffic"
 )
 
-func testEnv() (*topo.Topology, netsim.Config, netsim.RoutingFunc, PatternFactory) {
+func testEnv() (*topo.Compiled, netsim.Config, netsim.RoutingFunc, PatternFactory) {
 	t := topo.MustNew(2, 4, 2, 9)
 	cfg := netsim.DefaultConfig()
 	rf := routing.NewUGALL(t, paths.Full{T: t})

@@ -1,0 +1,129 @@
+// The Swapped Dragonfly D3(K,M) (Draper, arXiv:2202.01843): a
+// two-parameter family of diameter-3 networks, linearly scalable in
+// M. M groups of K switches each; every group is a complete graph
+// (K-1 local links per switch) and every switch carries exactly one
+// global-port slot, wired by a generalized swap (the OTIS/swapped-
+// network transpose extended to M <= K groups):
+//
+// Writing a switch's in-group position k = q*M + r with r in [0,M),
+// the global link of switch (m, k) — group m, position k — connects
+// to switch (r, q*M + m):
+//
+//   - the swap is an involution, so links are well-defined and
+//     symmetric;
+//   - positions with r == m are fixed points: their global-port slot
+//     is unwired (no switch links to its own group);
+//   - every ordered group pair (i,j), i != j, is joined by exactly
+//     K/M parallel links, one per position block q — which is why K
+//     must be a multiple of M.
+//
+// Unlike the classic Dragonfly, whose radix must grow to add groups,
+// D3 holds the switch radix at p + (K-1) + 1 while the machine
+// scales linearly in M (up to M = K): exactly the property the
+// million-endpoint north star wants from a second family. Diameter
+// is 3 (local, swap, local), so the pipeline's generic MIN/VLB
+// enumeration applies unchanged.
+package topo
+
+import "fmt"
+
+// D3 is the Swapped Dragonfly family instance. Immutable; queries go
+// through the Compiled arena.
+type D3 struct {
+	// KParam is the group size (switches per group, complete graph).
+	KParam int
+	// M is the number of groups, 2 <= M <= K, M | K.
+	M int
+	// P is the terminal (compute-node) links per switch; Draper's
+	// construction leaves endpoint attachment free, we default to 1
+	// (matching the one global slot per switch, the family's
+	// balance point).
+	P int
+}
+
+// ErrBadD3 reports invalid Swapped Dragonfly parameters.
+var ErrBadD3 = fmt.Errorf("topo: d3 parameters must satisfy K>=2, 2<=M<=K, M|K, p>=1")
+
+// NewD3 validates and builds the compiled Swapped Dragonfly with p
+// terminals per switch (p=0 selects the default of 1).
+func NewD3(k, m, p int) (*Compiled, error) {
+	d, err := NewD3Family(k, m, p)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(d)
+}
+
+// MustNewD3 is NewD3 panicking on error.
+func MustNewD3(k, m, p int) *Compiled {
+	c, err := NewD3(k, m, p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewD3Family validates the parameters and returns the family
+// instance (the Network implementation; most callers want NewD3).
+func NewD3Family(k, m, p int) (*D3, error) {
+	if p == 0 {
+		p = 1
+	}
+	if k < 2 || m < 2 || m > k || k%m != 0 || p < 1 {
+		return nil, fmt.Errorf("%w: got d3(K=%d,M=%d,p=%d)", ErrBadD3, k, m, p)
+	}
+	return &D3{KParam: k, M: m, P: p}, nil
+}
+
+// Family implements Network.
+func (d *D3) Family() string { return "d3" }
+
+// Label implements Network.
+func (d *D3) Label() string {
+	if d.P == 1 {
+		return fmt.Sprintf("d3(%d,%d)", d.KParam, d.M)
+	}
+	return fmt.Sprintf("d3(%d,%d,%d)", d.KParam, d.M, d.P)
+}
+
+// Schema implements Network: M groups of K switches, one global-port
+// slot per switch.
+func (d *D3) Schema() Schema {
+	return Schema{P: d.P, A: d.KParam, H: 1, G: d.M}
+}
+
+// PathProfile implements Network: diameter 3, VLB = two MIN legs.
+func (d *D3) PathProfile() PathProfile {
+	return PathProfile{MaxMinHops: 3, MaxVLBHops: 6}
+}
+
+// GlobalPeerOK implements Network: the generalized swap. Position
+// k = q*M + r of group m links to position q*M + m of group r; the
+// slot is unwired at the swap's fixed points (r == m).
+func (d *D3) GlobalPeerOK(sw, gp int) (peerSw, peerGp int, ok bool) {
+	if sw < 0 || sw >= d.M*d.KParam || gp != 0 {
+		return 0, 0, false
+	}
+	m := sw / d.KParam
+	k := sw % d.KParam
+	q, r := k/d.M, k%d.M
+	if r == m {
+		return 0, 0, false // swap fixed point: unwired slot
+	}
+	return r*d.KParam + q*d.M + m, 0, true
+}
+
+// AdversarialShifts implements Network: the TYPE_1 analog for the
+// swapped family, shift(Δg,Δs) for all Δg in [1,M), Δs in [0,K).
+// Group shifts stress the K/M parallel swap links of each pair; the
+// switch shifts sweep the positions, which on D3 also rotates which
+// switches own the pair's links — the family's customization signal.
+func (d *D3) AdversarialShifts() [][2]int {
+	out := make([][2]int, 0, (d.M-1)*d.KParam)
+	for dg := 1; dg < d.M; dg++ {
+		for ds := 0; ds < d.KParam; ds++ {
+			out = append(out, [2]int{dg, ds})
+		}
+	}
+	return out
+}

@@ -22,7 +22,7 @@ type Channel struct {
 // every channel into and out of it, so a path-level aliveness check
 // only needs to test the out-channel of each hop.
 type FailureMask struct {
-	t       *Topology
+	c       *Compiled
 	nonTerm int    // non-terminal ports per switch: a-1+h
 	dead    []bool // dead[sw*nonTerm + (port-p)]
 	deadSw  []bool
@@ -38,22 +38,22 @@ type FailureMask struct {
 	links [][]GlobalLink
 }
 
-// NewFailureMask returns an empty mask over t (everything alive).
-func NewFailureMask(t *Topology) *FailureMask {
-	m := &FailureMask{t: t, nonTerm: t.A - 1 + t.H}
-	m.dead = make([]bool, t.NumSwitches()*m.nonTerm)
-	m.deadSw = make([]bool, t.NumSwitches())
-	m.links = append([][]GlobalLink(nil), t.linksBetween...)
+// NewFailureMask returns an empty mask over c (everything alive).
+func NewFailureMask(c *Compiled) *FailureMask {
+	m := &FailureMask{c: c, nonTerm: c.A - 1 + c.H}
+	m.dead = make([]bool, c.NumSwitches()*m.nonTerm)
+	m.deadSw = make([]bool, c.NumSwitches())
+	m.links = append([][]GlobalLink(nil), c.linksBetween...)
 	return m
 }
 
-// Topo returns the topology the mask applies to.
-func (m *FailureMask) Topo() *Topology { return m.t }
+// Topo returns the compiled topology the mask applies to.
+func (m *FailureMask) Topo() *Compiled { return m.c }
 
 // kill marks one directed channel dead, reporting whether it was
 // alive before.
 func (m *FailureMask) kill(sw, port int) bool {
-	i := sw*m.nonTerm + port - m.t.P
+	i := sw*m.nonTerm + port - m.c.P
 	if m.dead[i] {
 		return false
 	}
@@ -65,14 +65,14 @@ func (m *FailureMask) kill(sw, port int) bool {
 // refreshLinks rebuilds the filtered link list of one ordered group
 // pair from the topology's pristine cache.
 func (m *FailureMask) refreshLinks(gi, gj int) {
-	src := m.t.linksBetween[gi*m.t.G+gj]
+	src := m.c.linksBetween[gi*m.c.G+gj]
 	out := make([]GlobalLink, 0, len(src))
 	for _, l := range src {
-		if !m.ChannelDead(int(l.From), m.t.GlobalPort(int(l.FromPort))) {
+		if !m.ChannelDead(int(l.From), m.c.GlobalPort(int(l.FromPort))) {
 			out = append(out, l)
 		}
 	}
-	m.links[gi*m.t.G+gj] = out
+	m.links[gi*m.c.G+gj] = out
 }
 
 // FailGlobalLink fails the global link at global port gp (0..h-1) of
@@ -80,20 +80,22 @@ func (m *FailureMask) refreshLinks(gi, gj int) {
 // the delta an incremental recompilation needs — which is empty when
 // the link was already down.
 func (m *FailureMask) FailGlobalLink(sw, gp int) ([]Channel, error) {
-	if sw < 0 || sw >= m.t.NumSwitches() {
+	if sw < 0 || sw >= m.c.NumSwitches() {
 		return nil, fmt.Errorf("topo: FailGlobalLink: switch %d out of range", sw)
 	}
-	if gp < 0 || gp >= m.t.H {
-		return nil, fmt.Errorf("topo: FailGlobalLink: global port %d out of range [0,%d)", gp, m.t.H)
+	if gp < 0 || gp >= m.c.H {
+		return nil, fmt.Errorf("topo: FailGlobalLink: global port %d out of range [0,%d)", gp, m.c.H)
 	}
-	peer := m.t.GlobalPeer(sw, gp)
-	ppt := m.t.GlobalPeerPort(sw, gp)
+	peer, ppt, ok := m.c.GlobalPeerOK(sw, gp)
+	if !ok {
+		return nil, fmt.Errorf("topo: FailGlobalLink: global port %d of switch %d is unwired", gp, sw)
+	}
 	mark := len(m.chans)
-	fresh := m.kill(sw, m.t.GlobalPort(gp))
-	fresh = m.kill(peer, m.t.GlobalPort(ppt)) || fresh
+	fresh := m.kill(sw, m.c.GlobalPort(gp))
+	fresh = m.kill(peer, m.c.GlobalPort(ppt)) || fresh
 	if fresh {
 		m.nGlobal++
-		gi, gj := m.t.GroupOf(sw), m.t.GroupOf(peer)
+		gi, gj := m.c.GroupOf(sw), m.c.GroupOf(peer)
 		m.refreshLinks(gi, gj)
 		m.refreshLinks(gj, gi)
 	}
@@ -103,11 +105,11 @@ func (m *FailureMask) FailGlobalLink(sw, gp int) ([]Channel, error) {
 // FailLocalLink fails the intra-group link between switches u and v,
 // both directions, returning the newly dead channels.
 func (m *FailureMask) FailLocalLink(u, v int) ([]Channel, error) {
-	pu, ok := m.t.LocalPortOK(u, v)
+	pu, ok := m.c.LocalPortOK(u, v)
 	if !ok {
 		return nil, fmt.Errorf("topo: FailLocalLink(%d,%d): not distinct same-group switches", u, v)
 	}
-	pv, _ := m.t.LocalPortOK(v, u)
+	pv, _ := m.c.LocalPortOK(v, u)
 	mark := len(m.chans)
 	fresh := m.kill(u, pu)
 	fresh = m.kill(v, pv) || fresh
@@ -121,7 +123,7 @@ func (m *FailureMask) FailLocalLink(u, v int) ([]Channel, error) {
 // both directions, plus its terminals (SwitchDead gates injection).
 // It returns the newly dead channels.
 func (m *FailureMask) FailSwitch(sw int) ([]Channel, error) {
-	if sw < 0 || sw >= m.t.NumSwitches() {
+	if sw < 0 || sw >= m.c.NumSwitches() {
 		return nil, fmt.Errorf("topo: FailSwitch: switch %d out of range", sw)
 	}
 	mark := len(m.chans)
@@ -130,27 +132,29 @@ func (m *FailureMask) FailSwitch(sw int) ([]Channel, error) {
 	}
 	m.deadSw[sw] = true
 	m.nSwitches++
-	g := m.t.GroupOf(sw)
-	for i := 0; i < m.t.A; i++ {
-		v := m.t.SwitchID(g, i)
+	g := m.c.GroupOf(sw)
+	for i := 0; i < m.c.A; i++ {
+		v := m.c.SwitchID(g, i)
 		if v == sw {
 			continue
 		}
-		pu, _ := m.t.LocalPortOK(sw, v)
-		pv, _ := m.t.LocalPortOK(v, sw)
+		pu, _ := m.c.LocalPortOK(sw, v)
+		pv, _ := m.c.LocalPortOK(v, sw)
 		fresh := m.kill(sw, pu)
 		if m.kill(v, pv) || fresh {
 			m.nLocal++
 		}
 	}
-	for gp := 0; gp < m.t.H; gp++ {
-		peer := m.t.GlobalPeer(sw, gp)
-		ppt := m.t.GlobalPeerPort(sw, gp)
-		fresh := m.kill(sw, m.t.GlobalPort(gp))
-		if m.kill(peer, m.t.GlobalPort(ppt)) || fresh {
+	for gp := 0; gp < m.c.H; gp++ {
+		peer, ppt, ok := m.c.GlobalPeerOK(sw, gp)
+		if !ok {
+			continue // unwired slot (swap fixed point): nothing to kill
+		}
+		fresh := m.kill(sw, m.c.GlobalPort(gp))
+		if m.kill(peer, m.c.GlobalPort(ppt)) || fresh {
 			m.nGlobal++
 		}
-		gi, gj := g, m.t.GroupOf(peer)
+		gi, gj := g, m.c.GroupOf(peer)
 		m.refreshLinks(gi, gj)
 		m.refreshLinks(gj, gi)
 	}
@@ -161,10 +165,10 @@ func (m *FailureMask) FailSwitch(sw int) ([]Channel, error) {
 // dead. Terminal ports report the switch's own state, so injection
 // and ejection checks can use the same query.
 func (m *FailureMask) ChannelDead(sw, port int) bool {
-	if port < m.t.P {
+	if port < m.c.P {
 		return m.deadSw[sw]
 	}
-	return m.dead[sw*m.nonTerm+port-m.t.P]
+	return m.dead[sw*m.nonTerm+port-m.c.P]
 }
 
 // SwitchDead reports whether a whole switch has failed.
@@ -181,7 +185,7 @@ func (m *FailureMask) DeadDense() []bool { return m.dead }
 // channel died. The returned slice is shared and must not be
 // modified.
 func (m *FailureMask) LinksBetweenGroups(gi, gj int) []GlobalLink {
-	return m.links[gi*m.t.G+gj]
+	return m.links[gi*m.c.G+gj]
 }
 
 // DeadChannels returns every dead channel in kill order. The slice is

@@ -1,8 +1,9 @@
 package topo
 
-// Metrics are switch-graph properties of a Dragonfly instance; on
-// any dfly(p,a,h,g) with the uniform arrangement the diameter is 3
-// (local, global, local), which doubles as a wiring sanity check.
+// Metrics are switch-graph properties of a compiled instance; on
+// any dfly(p,a,h,g) with the uniform arrangement — and on any
+// Swapped Dragonfly d3(K,M) — the diameter is 3 (local, global,
+// local), which doubles as a wiring sanity check.
 type Metrics struct {
 	// Diameter is the maximum switch-to-switch shortest path length.
 	Diameter int
@@ -18,7 +19,7 @@ type Metrics struct {
 // ComputeMetrics runs breadth-first searches over the switch graph.
 // Cost is O(switches * (switches + links)); fine for every topology
 // in this repository (the largest has 702 switches).
-func (t *Topology) ComputeMetrics() Metrics {
+func (t *Compiled) ComputeMetrics() Metrics {
 	n := t.NumSwitches()
 	var m Metrics
 	totalDist := 0
@@ -43,9 +44,12 @@ func (t *Topology) ComputeMetrics() Metrics {
 					queue = append(queue, v)
 				}
 			}
-			// Global neighbors.
+			// Global neighbors (skipping unwired slots).
 			for gp := 0; gp < t.H; gp++ {
-				v := t.GlobalPeer(u, gp)
+				v, _, ok := t.GlobalPeerOK(u, gp)
+				if !ok {
+					continue
+				}
 				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
 					queue = append(queue, v)

@@ -1,6 +1,6 @@
-// Package topo constructs and queries Dragonfly topologies
-// dfly(p, a, h, g) as defined in Kim et al. (ISCA'08) and used by
-// Rahman et al. (SC'19):
+// Package topo constructs and queries the topology families of the
+// pipeline. The classic Dragonfly dfly(p, a, h, g) follows Kim et al.
+// (ISCA'08) as used by Rahman et al. (SC'19):
 //
 //   - p: terminal (compute-node) links per switch
 //   - a: switches per group, fully connected intra-group
@@ -17,6 +17,10 @@
 // Identifiers: switch s of group gi has SwitchID gi*a + s; terminal
 // node n of switch sw has NodeID sw*p + n. Switch ports are numbered
 // [0,p) terminal, [p, p+a-1) local, [p+a-1, p+a-1+h) global.
+//
+// The family surface is the Network interface (network.go); the flat
+// query arena every other layer reads is Compiled (compiled.go); the
+// second family, the Swapped Dragonfly D3(K,M), lives in d3.go.
 package topo
 
 import (
@@ -70,9 +74,10 @@ func (a Arrangement) String() string {
 	}
 }
 
-// Topology is an immutable Dragonfly instance. All query methods are
-// safe for concurrent use.
-type Topology struct {
+// Dragonfly is the classic Dragonfly family: an immutable parameter
+// set implementing Network. Queries against an instance go through
+// the Compiled arena; the family itself only resolves the wiring.
+type Dragonfly struct {
 	Params
 
 	// Arr is the global link arrangement.
@@ -81,27 +86,6 @@ type Topology struct {
 	// K is the number of global links between each ordered pair of
 	// groups: a*h/(g-1).
 	K int
-
-	// globalPeer[sw][gp] is the switch at the far end of global port
-	// gp (0..h-1) of switch sw; globalPeerPort is the peer's global
-	// port index for the same physical link.
-	globalPeer     [][]int32
-	globalPeerPort [][]int32
-
-	// linksBetween[gi*G+gj] caches the K global links from group gi
-	// to group gj (empty for gi == gj). Shared, read-only.
-	linksBetween [][]GlobalLink
-
-	// Strength-reduction tables for the id decompositions: p and a
-	// are runtime values, so sw/a-style divisions cost a hardware
-	// divide on every call — and the simulator's injection path
-	// performs dozens per packet. The tables are a few hundred KB at
-	// the largest supported sizes and read-only after construction.
-	swGroup   []int32 // sw -> sw / a
-	swIdx     []int16 // sw -> sw % a
-	nodeSw    []int32 // node -> node / p
-	nodeIdx   []int16 // node -> node % p
-	nodeGroup []int32 // node -> node / (a*p)
 }
 
 // Common construction errors.
@@ -110,15 +94,36 @@ var (
 	ErrIndivisible = errors.New("topo: a*h must be divisible by g-1 for the uniform absolute arrangement")
 )
 
-// New validates the parameters and builds the topology with the
-// absolute arrangement (the paper's configuration).
-func New(p, a, h, g int) (*Topology, error) {
+// New validates the parameters and builds the compiled topology with
+// the absolute arrangement (the paper's configuration).
+func New(p, a, h, g int) (*Compiled, error) {
 	return NewArranged(p, a, h, g, Absolute)
 }
 
-// NewArranged builds the topology with an explicit global link
-// arrangement.
-func NewArranged(p, a, h, g int, arr Arrangement) (*Topology, error) {
+// NewArranged builds the compiled topology with an explicit global
+// link arrangement.
+func NewArranged(p, a, h, g int, arr Arrangement) (*Compiled, error) {
+	d, err := NewDragonfly(p, a, h, g, arr)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(d)
+}
+
+// MustNew is New but panics on error; intended for tests and examples
+// with known-good parameters.
+func MustNew(p, a, h, g int) *Compiled {
+	t, err := New(p, a, h, g)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewDragonfly validates the parameters and returns the family
+// instance (the Network implementation; most callers want New, which
+// also compiles it).
+func NewDragonfly(p, a, h, g int, arr Arrangement) (*Dragonfly, error) {
 	if p < 1 || a < 2 || h < 1 || g < 2 || g > a*h+1 {
 		return nil, fmt.Errorf("%w: got dfly(%d,%d,%d,%d)", ErrBadParams, p, a, h, g)
 	}
@@ -128,31 +133,39 @@ func NewArranged(p, a, h, g int, arr Arrangement) (*Topology, error) {
 	if arr != Absolute && arr != Relative {
 		return nil, fmt.Errorf("topo: unknown arrangement %d", arr)
 	}
-	t := &Topology{
+	return &Dragonfly{
 		Params: Params{P: p, A: a, H: h, G: g},
 		Arr:    arr,
 		K:      a * h / (g - 1),
-	}
-	t.wire()
-	t.buildLinkCache()
-	return t, nil
+	}, nil
 }
 
-// MustNew is New but panics on error; intended for tests and examples
-// with known-good parameters.
-func MustNew(p, a, h, g int) *Topology {
-	t, err := New(p, a, h, g)
-	if err != nil {
-		panic(err)
+// Family implements Network.
+func (d *Dragonfly) Family() string { return "dfly" }
+
+// Label implements Network.
+func (d *Dragonfly) Label() string {
+	if d.Arr == Relative {
+		return fmt.Sprintf("dfly(%d,%d,%d,%d,relative)", d.P, d.A, d.H, d.G)
 	}
-	return t
+	return d.Params.String()
+}
+
+// Schema implements Network.
+func (d *Dragonfly) Schema() Schema {
+	return Schema{P: d.P, A: d.A, H: d.H, G: d.G}
+}
+
+// PathProfile implements Network: the classic diameter-3 profile.
+func (d *Dragonfly) PathProfile() PathProfile {
+	return PathProfile{MaxMinHops: 3, MaxVLBHops: 6}
 }
 
 // peerGroup maps a group-level port slot j' of group gi to its peer
 // group under the configured arrangement.
-func (t *Topology) peerGroup(gi, jp int) int {
-	if t.Arr == Relative {
-		return (gi + 1 + jp) % t.G
+func (d *Dragonfly) peerGroup(gi, jp int) int {
+	if d.Arr == Relative {
+		return (gi + 1 + jp) % d.G
 	}
 	if jp >= gi {
 		return jp + 1
@@ -162,9 +175,9 @@ func (t *Topology) peerGroup(gi, jp int) int {
 
 // slotToward is peerGroup's inverse: the group-level port slot of gi
 // that reaches gj.
-func (t *Topology) slotToward(gi, gj int) int {
-	if t.Arr == Relative {
-		return ((gj-gi-1)%t.G + t.G) % t.G
+func (d *Dragonfly) slotToward(gi, gj int) int {
+	if d.Arr == Relative {
+		return ((gj-gi-1)%d.G + d.G) % d.G
 	}
 	if gj > gi {
 		return gj - 1
@@ -172,303 +185,35 @@ func (t *Topology) slotToward(gi, gj int) int {
 	return gj
 }
 
-// wire computes the global-link peer tables. Group-level port
-// m in [0, a*h) of a group targets the peer group of slot
-// j' = m mod (g-1) (arrangement-dependent), using the
-// r = m div (g-1)-th of the K parallel links of the pair; the far
-// end is the same r on the peer's slot back. Port m belongs to
-// switch m div h, local global index m mod h — interleaving the K
-// parallel links of a pair across the switches of each group.
-func (t *Topology) wire() {
-	n := t.NumSwitches()
-	t.swGroup = make([]int32, n)
-	t.swIdx = make([]int16, n)
-	for sw := 0; sw < n; sw++ {
-		t.swGroup[sw] = int32(sw / t.A)
-		t.swIdx[sw] = int16(sw % t.A)
+// GlobalPeerOK implements Network. Group-level port m in [0, a*h) of
+// a group targets the peer group of slot j' = m mod (g-1)
+// (arrangement-dependent), using the r = m div (g-1)-th of the K
+// parallel links of the pair; the far end is the same r on the peer's
+// slot back. Port m belongs to switch m div h, local global index
+// m mod h — interleaving the K parallel links of a pair across the
+// switches of each group. Every slot is wired.
+func (d *Dragonfly) GlobalPeerOK(sw, gp int) (peerSw, peerGp int, ok bool) {
+	if sw < 0 || sw >= d.G*d.A || gp < 0 || gp >= d.H {
+		return 0, 0, false
 	}
-	nn := t.NumNodes()
-	t.nodeSw = make([]int32, nn)
-	t.nodeIdx = make([]int16, nn)
-	t.nodeGroup = make([]int32, nn)
-	for nd := 0; nd < nn; nd++ {
-		t.nodeSw[nd] = int32(nd / t.P)
-		t.nodeIdx[nd] = int16(nd % t.P)
-		t.nodeGroup[nd] = int32(nd / (t.A * t.P))
-	}
-	t.globalPeer = make([][]int32, n)
-	t.globalPeerPort = make([][]int32, n)
-	backing := make([]int32, n*t.H*2)
-	for sw := 0; sw < n; sw++ {
-		t.globalPeer[sw] = backing[sw*t.H*2 : sw*t.H*2+t.H]
-		t.globalPeerPort[sw] = backing[sw*t.H*2+t.H : (sw+1)*t.H*2]
-	}
-	gm1 := t.G - 1
-	for gi := 0; gi < t.G; gi++ {
-		for m := 0; m < t.A*t.H; m++ {
-			jp := m % gm1
-			r := m / gm1
-			gj := t.peerGroup(gi, jp)
-			mPeer := t.slotToward(gj, gi) + r*gm1
-			sw := gi*t.A + m/t.H
-			peerSw := gj*t.A + mPeer/t.H
-			t.globalPeer[sw][m%t.H] = int32(peerSw)
-			t.globalPeerPort[sw][m%t.H] = int32(mPeer % t.H)
+	gi := sw / d.A
+	m := (sw%d.A)*d.H + gp
+	gm1 := d.G - 1
+	jp := m % gm1
+	r := m / gm1
+	gj := d.peerGroup(gi, jp)
+	mPeer := d.slotToward(gj, gi) + r*gm1
+	return gj*d.A + mPeer/d.H, mPeer % d.H, true
+}
+
+// AdversarialShifts implements Network: the paper's TYPE_1_SET,
+// shift(Δg,Δs) for all Δg in [1,g), Δs in [0,a) — (g-1)·a patterns.
+func (d *Dragonfly) AdversarialShifts() [][2]int {
+	out := make([][2]int, 0, (d.G-1)*d.A)
+	for dg := 1; dg < d.G; dg++ {
+		for ds := 0; ds < d.A; ds++ {
+			out = append(out, [2]int{dg, ds})
 		}
 	}
-}
-
-// NumSwitches returns g*a.
-func (t *Topology) NumSwitches() int { return t.G * t.A }
-
-// NumNodes returns g*a*p, the paper's "No. of PEs".
-func (t *Topology) NumNodes() int { return t.G * t.A * t.P }
-
-// Radix returns the switch port count p + (a-1) + h.
-func (t *Topology) Radix() int { return t.P + t.A - 1 + t.H }
-
-// GlobalLinksPerGroup returns a*h.
-func (t *Topology) GlobalLinksPerGroup() int { return t.A * t.H }
-
-// GroupOf returns the group of a switch.
-func (t *Topology) GroupOf(sw int) int { return int(t.swGroup[sw]) }
-
-// SwitchIndexInGroup returns a switch's index within its group.
-func (t *Topology) SwitchIndexInGroup(sw int) int { return int(t.swIdx[sw]) }
-
-// SwitchID composes a switch id from group and in-group index.
-func (t *Topology) SwitchID(group, idx int) int { return group*t.A + idx }
-
-// SwitchOfNode returns the switch a node attaches to.
-func (t *Topology) SwitchOfNode(node int) int { return int(t.nodeSw[node]) }
-
-// NodeID composes a node id from switch and terminal index.
-func (t *Topology) NodeID(sw, k int) int { return sw*t.P + k }
-
-// NodeIndex returns a node's terminal index at its switch.
-func (t *Topology) NodeIndex(node int) int { return int(t.nodeIdx[node]) }
-
-// GroupOfNode returns the group a node belongs to.
-func (t *Topology) GroupOfNode(node int) int { return int(t.nodeGroup[node]) }
-
-// GlobalPeer returns the far-end switch of global port gp of sw.
-func (t *Topology) GlobalPeer(sw, gp int) int {
-	return int(t.globalPeer[sw][gp])
-}
-
-// GlobalPeerPort returns the far-end global port index of global port
-// gp of sw.
-func (t *Topology) GlobalPeerPort(sw, gp int) int {
-	return int(t.globalPeerPort[sw][gp])
-}
-
-// Port numbering helpers. A port is terminal, local or global.
-
-// TerminalPort returns the port to terminal node index k.
-func (t *Topology) TerminalPort(k int) int { return k }
-
-// LocalPort returns the port on switch u toward switch v, which must
-// be a different switch of the same group.
-func (t *Topology) LocalPort(u, v int) int {
-	su, sv := int(t.swIdx[u]), int(t.swIdx[v])
-	if t.swGroup[u] != t.swGroup[v] || su == sv {
-		panic(fmt.Sprintf("topo: LocalPort(%d,%d) not distinct same-group switches", u, v))
-	}
-	if sv > su {
-		sv--
-	}
-	return t.P + sv
-}
-
-// LocalPortOK is LocalPort returning ok=false instead of panicking
-// when u and v are not distinct switches of one group (or are out of
-// range). Library code that may be handed degraded or untrusted
-// switch pairs uses this form.
-func (t *Topology) LocalPortOK(u, v int) (port int, ok bool) {
-	if u < 0 || v < 0 || u >= t.NumSwitches() || v >= t.NumSwitches() {
-		return 0, false
-	}
-	su, sv := int(t.swIdx[u]), int(t.swIdx[v])
-	if t.swGroup[u] != t.swGroup[v] || su == sv {
-		return 0, false
-	}
-	if sv > su {
-		sv--
-	}
-	return t.P + sv, true
-}
-
-// GlobalPort returns the port for global link index gp (0..h-1).
-func (t *Topology) GlobalPort(gp int) int { return t.P + t.A - 1 + gp }
-
-// PortKind classifies a port number.
-type PortKind uint8
-
-// Port kinds.
-const (
-	Terminal PortKind = iota
-	Local
-	Global
-)
-
-// KindOfPort classifies port number pt of any switch.
-func (t *Topology) KindOfPort(pt int) PortKind {
-	switch {
-	case pt < t.P:
-		return Terminal
-	case pt < t.P+t.A-1:
-		return Local
-	default:
-		return Global
-	}
-}
-
-// PeerOfPort resolves the switch at the far end of a local or global
-// port of sw. It panics for terminal ports.
-func (t *Topology) PeerOfPort(sw, pt int) int {
-	switch t.KindOfPort(pt) {
-	case Local:
-		idx := pt - t.P
-		su := sw % t.A
-		if idx >= su {
-			idx++
-		}
-		return (sw/t.A)*t.A + idx
-	case Global:
-		return int(t.globalPeer[sw][pt-t.P-t.A+1])
-	default:
-		panic("topo: PeerOfPort on terminal port")
-	}
-}
-
-// PeerOfPortOK is PeerOfPort returning ok=false for terminal or
-// out-of-range ports (or switches) instead of panicking. Validation
-// paths that may see corrupt port sequences use this form.
-func (t *Topology) PeerOfPortOK(sw, pt int) (peer int, ok bool) {
-	if sw < 0 || sw >= t.NumSwitches() || pt < t.P || pt >= t.Radix() {
-		return 0, false
-	}
-	return t.PeerOfPort(sw, pt), true
-}
-
-// GlobalLink is one directed global connection u -> v.
-type GlobalLink struct {
-	From, To int32
-	// FromPort is the global port index (0..h-1) at From.
-	FromPort int32
-}
-
-// LinksBetweenGroups returns the global links from group gi to group
-// gj (gi != gj): exactly K entries. The returned slice is shared and
-// must not be modified.
-func (t *Topology) LinksBetweenGroups(gi, gj int) []GlobalLink {
-	if gi == gj {
-		panic("topo: LinksBetweenGroups with gi == gj")
-	}
-	return t.linksBetween[gi*t.G+gj]
-}
-
-// buildLinkCache fills linksBetween after wiring.
-func (t *Topology) buildLinkCache() {
-	t.linksBetween = make([][]GlobalLink, t.G*t.G)
-	backing := make([]GlobalLink, 0, t.G*(t.G-1)*t.K)
-	gm1 := t.G - 1
-	for gi := 0; gi < t.G; gi++ {
-		for gj := 0; gj < t.G; gj++ {
-			if gi == gj {
-				continue
-			}
-			jp := t.slotToward(gi, gj)
-			start := len(backing)
-			for r := 0; r < t.K; r++ {
-				m := jp + r*gm1
-				sw := gi*t.A + m/t.H
-				backing = append(backing, GlobalLink{
-					From:     int32(sw),
-					To:       t.globalPeer[sw][m%t.H],
-					FromPort: int32(m % t.H),
-				})
-			}
-			t.linksBetween[gi*t.G+gj] = backing[start:len(backing):len(backing)]
-		}
-	}
-}
-
-// SameGroup reports whether two switches share a group.
-func (t *Topology) SameGroup(u, v int) bool { return t.swGroup[u] == t.swGroup[v] }
-
-// AdjacentPort returns the port on u that reaches the adjacent switch
-// v (local or global) and whether such a direct connection exists.
-func (t *Topology) AdjacentPort(u, v int) (port int, ok bool) {
-	if u == v {
-		return 0, false
-	}
-	if t.SameGroup(u, v) {
-		return t.LocalPortOK(u, v)
-	}
-	for gp := 0; gp < t.H; gp++ {
-		if int(t.globalPeer[u][gp]) == v {
-			return t.GlobalPort(gp), true
-		}
-	}
-	return 0, false
-}
-
-// Validate rechecks the structural invariants. It is used by the
-// property tests and is cheap enough to call on construction-sized
-// topologies in CI.
-func (t *Topology) Validate() error {
-	n := t.NumSwitches()
-	if t.K*(t.G-1) != t.A*t.H {
-		return fmt.Errorf("topo: K=%d does not tile a*h=%d over g-1=%d", t.K, t.A*t.H, t.G-1)
-	}
-	pairCount := make(map[[2]int]int)
-	for sw := 0; sw < n; sw++ {
-		for gp := 0; gp < t.H; gp++ {
-			peer := int(t.globalPeer[sw][gp])
-			ppt := int(t.globalPeerPort[sw][gp])
-			if peer < 0 || peer >= n {
-				return fmt.Errorf("topo: switch %d global port %d peer %d out of range", sw, gp, peer)
-			}
-			if t.SameGroup(sw, peer) {
-				return fmt.Errorf("topo: switch %d global port %d stays in group", sw, gp)
-			}
-			// Bidirectional consistency: the peer's port points back.
-			if int(t.globalPeer[peer][ppt]) != sw || int(t.globalPeerPort[peer][ppt]) != gp {
-				return fmt.Errorf("topo: link (%d,%d)<->(%d,%d) not symmetric", sw, gp, peer, ppt)
-			}
-			pairCount[[2]int{t.GroupOf(sw), t.GroupOf(peer)}]++
-		}
-	}
-	for gi := 0; gi < t.G; gi++ {
-		for gj := 0; gj < t.G; gj++ {
-			if gi == gj {
-				continue
-			}
-			if c := pairCount[[2]int{gi, gj}]; c != t.K {
-				return fmt.Errorf("topo: groups (%d,%d) joined by %d links, want %d", gi, gj, c, t.K)
-			}
-		}
-	}
-	return nil
-}
-
-// Table2Row mirrors a row of the paper's Table 2.
-type Table2Row struct {
-	Topology          string
-	PEs               int
-	Switches          int
-	Groups            int
-	LinksPerGroupPair int
-}
-
-// Table2 returns this topology's Table 2 row.
-func (t *Topology) Table2() Table2Row {
-	return Table2Row{
-		Topology:          t.Params.String(),
-		PEs:               t.NumNodes(),
-		Switches:          t.NumSwitches(),
-		Groups:            t.G,
-		LinksPerGroupPair: t.K,
-	}
+	return out
 }

@@ -52,7 +52,7 @@ func TestTable2(t *testing.T) {
 		row := tp.Table2()
 		if row.PEs != c.pes || row.Switches != c.switches || row.LinksPerGroupPair != c.linksPerPair {
 			t.Errorf("%v: got %+v, want PEs=%d switches=%d k=%d",
-				tp.Params, row, c.pes, c.switches, c.linksPerPair)
+				tp.Label(), row, c.pes, c.switches, c.linksPerPair)
 		}
 	}
 }
@@ -65,7 +65,7 @@ func TestValidateAll(t *testing.T) {
 	} {
 		tp := MustNew(c[0], c[1], c[2], c[3])
 		if err := tp.Validate(); err != nil {
-			t.Errorf("%v: %v", tp.Params, err)
+			t.Errorf("%v: %v", tp.Label(), err)
 		}
 	}
 }
@@ -162,7 +162,7 @@ func TestLinksBetweenGroups(t *testing.T) {
 				}
 				links := tp.LinksBetweenGroups(gi, gj)
 				if len(links) != tp.K {
-					t.Fatalf("%v groups(%d,%d): %d links want %d", tp.Params, gi, gj, len(links), tp.K)
+					t.Fatalf("%v groups(%d,%d): %d links want %d", tp.Label(), gi, gj, len(links), tp.K)
 				}
 				for _, l := range links {
 					if tp.GroupOf(int(l.From)) != gi || tp.GroupOf(int(l.To)) != gj {
@@ -215,7 +215,7 @@ func TestRelativeArrangement(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := tp.Validate(); err != nil {
-			t.Fatalf("%v relative: %v", tp.Params, err)
+			t.Fatalf("%v relative: %v", tp.Label(), err)
 		}
 		// The relative wiring must differ from the absolute one
 		// (unless the topology is so small they coincide).
@@ -229,7 +229,7 @@ func TestRelativeArrangement(t *testing.T) {
 			}
 		}
 		if !differ && c[3] > 3 {
-			t.Errorf("%v: relative identical to absolute", tp.Params)
+			t.Errorf("%v: relative identical to absolute", tp.Label())
 		}
 	}
 	if _, err := NewArranged(2, 4, 2, 5, Arrangement(9)); err == nil {
@@ -242,14 +242,14 @@ func TestMetrics(t *testing.T) {
 		tp := MustNew(c[0], c[1], c[2], c[3])
 		m := tp.ComputeMetrics()
 		if m.Diameter != 3 {
-			t.Fatalf("%v: diameter %d want 3", tp.Params, m.Diameter)
+			t.Fatalf("%v: diameter %d want 3", tp.Label(), m.Diameter)
 		}
 		if m.AvgShortestPath <= 1 || m.AvgShortestPath >= 3 {
-			t.Fatalf("%v: avg shortest path %v", tp.Params, m.AvgShortestPath)
+			t.Fatalf("%v: avg shortest path %v", tp.Label(), m.AvgShortestPath)
 		}
 		want := tp.K * (tp.G / 2) * ((tp.G + 1) / 2)
 		if m.GroupBisectionLinks != want {
-			t.Fatalf("%v: bisection %d want %d", tp.Params, m.GroupBisectionLinks, want)
+			t.Fatalf("%v: bisection %d want %d", tp.Label(), m.GroupBisectionLinks, want)
 		}
 	}
 	// Relative arrangement has the same metric structure.

@@ -19,7 +19,7 @@ import (
 // group (g + ceil(g/2)-ish) — the classic worst case for rings,
 // adversarial on Dragonfly's group level too.
 type Tornado struct {
-	T *topo.Topology
+	T *topo.Compiled
 }
 
 // Name implements Pattern.
@@ -48,12 +48,12 @@ func (t Tornado) Dest(_ *rng.Source, src int) (int, bool) {
 // (n = floor(sqrt(N))) and swaps the coordinates; nodes outside the
 // square are silent. A standard matrix-transpose exchange.
 type Transpose struct {
-	T    *topo.Topology
+	T    *topo.Compiled
 	side int
 }
 
 // NewTranspose builds the pattern for a topology.
-func NewTranspose(t *topo.Topology) *Transpose {
+func NewTranspose(t *topo.Compiled) *Transpose {
 	side := 1
 	for (side+1)*(side+1) <= t.NumNodes() {
 		side++
@@ -83,7 +83,7 @@ func (t *Transpose) Dest(_ *rng.Source, src int) (int, bool) {
 // populations this is the address-bit complement; the mirrored form
 // generalizes to any N.
 type BitComplement struct {
-	T *topo.Topology
+	T *topo.Compiled
 }
 
 // Name implements Pattern.
@@ -101,12 +101,12 @@ func (b BitComplement) Dest(_ *rng.Source, src int) (int, bool) {
 // BitReverse reverses the low bits of the node id within the largest
 // power-of-two population; leftover nodes are silent.
 type BitReverse struct {
-	T    *topo.Topology
+	T    *topo.Compiled
 	nbit uint
 }
 
 // NewBitReverse builds the pattern for a topology.
-func NewBitReverse(t *topo.Topology) *BitReverse {
+func NewBitReverse(t *topo.Compiled) *BitReverse {
 	n := t.NumNodes()
 	nbit := uint(bits.Len(uint(n))) - 1
 	return &BitReverse{T: t, nbit: nbit}
@@ -131,12 +131,12 @@ func (b *BitReverse) Dest(_ *rng.Source, src int) (int, bool) {
 
 // Neighbor is nearest-group traffic: shift(1, 0) — provided as a
 // named convenience because MIN handles it as badly as any shift.
-func Neighbor(t *topo.Topology) Shift { return Shift{T: t, DG: 1, DS: 0} }
+func Neighbor(t *topo.Compiled) Shift { return Shift{T: t, DG: 1, DS: 0} }
 
 // Hotspot sends a fraction of every node's packets to a small set of
 // hot destinations and the rest uniformly — an incast approximation.
 type Hotspot struct {
-	T       *topo.Topology
+	T       *topo.Compiled
 	Hot     []int32
 	HotPct  int
 	uniform Uniform
@@ -144,7 +144,7 @@ type Hotspot struct {
 
 // NewHotspot picks nHot random hot nodes receiving hotPct% of
 // traffic.
-func NewHotspot(t *topo.Topology, nHot, hotPct int, seed uint64) *Hotspot {
+func NewHotspot(t *topo.Compiled, nHot, hotPct int, seed uint64) *Hotspot {
 	if nHot < 1 || nHot > t.NumNodes() || hotPct < 0 || hotPct > 100 {
 		panic("traffic: bad hotspot parameters")
 	}
@@ -178,12 +178,12 @@ func (h *Hotspot) Dest(r *rng.Source, src int) (int, bool) {
 // packet. Ranks are laid out linearly over nodes; the grid is the
 // most-cubic factorization of N.
 type Stencil3D struct {
-	T          *topo.Topology
+	T          *topo.Compiled
 	nx, ny, nz int
 }
 
 // NewStencil3D builds the pattern; it uses all N nodes.
-func NewStencil3D(t *topo.Topology) *Stencil3D {
+func NewStencil3D(t *topo.Compiled) *Stencil3D {
 	n := t.NumNodes()
 	nx, ny, nz := mostCubic(n)
 	return &Stencil3D{T: t, nx: nx, ny: ny, nz: nz}
@@ -247,12 +247,12 @@ func (s *Stencil3D) Dest(r *rng.Source, src int) (int, bool) {
 // sweep.Fixed hands every concurrently running simulation its own
 // clone with a fresh schedule.
 type AllToAll struct {
-	T    *topo.Topology
+	T    *topo.Compiled
 	next []int32
 }
 
 // NewAllToAll builds the pattern.
-func NewAllToAll(t *topo.Topology) *AllToAll {
+func NewAllToAll(t *topo.Compiled) *AllToAll {
 	return &AllToAll{T: t, next: make([]int32, t.NumNodes())}
 }
 

@@ -52,7 +52,7 @@ type Deterministic interface {
 // Uniform is uniform random traffic (UR): each packet picks a
 // destination uniformly among all other nodes.
 type Uniform struct {
-	T *topo.Topology
+	T *topo.Compiled
 }
 
 // Name implements Pattern.
@@ -72,7 +72,7 @@ func (u Uniform) Dest(r *rng.Source, src int) (int, bool) {
 // node (g_(i+Δg mod g), s_(j+Δs mod a), n_k). With Δs=0 it is the
 // paper's ADV pattern stressing the global links between group pairs.
 type Shift struct {
-	T      *topo.Topology
+	T      *topo.Compiled
 	DG, DS int
 }
 
@@ -104,7 +104,7 @@ type Permutation struct {
 }
 
 // NewPermutation draws a random node permutation for the topology.
-func NewPermutation(t *topo.Topology, seed uint64) *Permutation {
+func NewPermutation(t *topo.Compiled, seed uint64) *Permutation {
 	r := rng.New(seed)
 	p := r.Perm(t.NumNodes())
 	perm := make([]int32, len(p))
@@ -134,7 +134,7 @@ func (p *Permutation) Dest(_ *rng.Source, src int) (int, bool) {
 // Mixed is the space-domain MIXED(UR%, ADV%) pattern: a fixed random
 // UR% of nodes generate uniform traffic, the rest follow Adv.
 type Mixed struct {
-	T       *topo.Topology
+	T       *topo.Compiled
 	URPct   int
 	Adv     Pattern
 	uniform Uniform
@@ -142,7 +142,7 @@ type Mixed struct {
 }
 
 // NewMixed selects the UR node subset with the given seed.
-func NewMixed(t *topo.Topology, urPct int, adv Pattern, seed uint64) *Mixed {
+func NewMixed(t *topo.Compiled, urPct int, adv Pattern, seed uint64) *Mixed {
 	if urPct < 0 || urPct > 100 {
 		panic("traffic: URPct out of range")
 	}
@@ -172,14 +172,14 @@ func (m *Mixed) Dest(r *rng.Source, src int) (int, bool) {
 // packet of every node is uniform with probability UR% and
 // adversarial otherwise.
 type TimeMixed struct {
-	T       *topo.Topology
+	T       *topo.Compiled
 	URPct   int
 	Adv     Pattern
 	uniform Uniform
 }
 
 // NewTimeMixed builds a TMIXED pattern.
-func NewTimeMixed(t *topo.Topology, urPct int, adv Pattern) *TimeMixed {
+func NewTimeMixed(t *topo.Compiled, urPct int, adv Pattern) *TimeMixed {
 	if urPct < 0 || urPct > 100 {
 		panic("traffic: URPct out of range")
 	}
@@ -197,14 +197,15 @@ func (m *TimeMixed) Dest(r *rng.Source, src int) (int, bool) {
 	return m.Adv.Dest(r, src)
 }
 
-// Type1Set returns the paper's TYPE_1_SET: shift(Δg,Δs) for all
-// Δg in [1,g), Δs in [0,a) — (g-1)·a patterns.
-func Type1Set(t *topo.Topology) []Deterministic {
-	out := make([]Deterministic, 0, (t.G-1)*t.A)
-	for dg := 1; dg < t.G; dg++ {
-		for ds := 0; ds < t.A; ds++ {
-			out = append(out, Shift{T: t, DG: dg, DS: ds})
-		}
+// Type1Set returns the family's adversarial shift set — for the
+// dragonfly, the paper's TYPE_1_SET: shift(Δg,Δs) for all Δg in
+// [1,g), Δs in [0,a) — (g-1)·a patterns. Other families supply their
+// own set via Network.AdversarialShifts.
+func Type1Set(t *topo.Compiled) []Deterministic {
+	shifts := t.Net.AdversarialShifts()
+	out := make([]Deterministic, 0, len(shifts))
+	for _, s := range shifts {
+		out = append(out, Shift{T: t, DG: s[0], DS: s[1]})
 	}
 	return out
 }
@@ -214,7 +215,7 @@ func Type1Set(t *topo.Topology) []Deterministic {
 // random switch-level permutation per communicating group pair; node
 // k of a switch sends to node k of the mapped switch.
 type GroupPermutation struct {
-	t *topo.Topology
+	t *topo.Compiled
 	// groupDst[g] is the destination group of group g.
 	groupDst []int32
 	// swDst[g*a+s] is the destination in-group switch index for
@@ -224,7 +225,7 @@ type GroupPermutation struct {
 }
 
 // NewGroupPermutation draws one TYPE_2 pattern with the given seed.
-func NewGroupPermutation(t *topo.Topology, seed uint64) *GroupPermutation {
+func NewGroupPermutation(t *topo.Compiled, seed uint64) *GroupPermutation {
 	r := rng.New(seed)
 	gp := derangement(r, t.G)
 	groupDst := make([]int32, t.G)
@@ -288,7 +289,7 @@ func (p *GroupPermutation) Dest(_ *rng.Source, src int) (int, bool) {
 
 // Type2Set returns n TYPE_2_SET patterns (the paper uses 20 for the
 // model and simulates 5 of them in Step 2).
-func Type2Set(t *topo.Topology, n int, seed uint64) []Deterministic {
+func Type2Set(t *topo.Compiled, n int, seed uint64) []Deterministic {
 	out := make([]Deterministic, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, NewGroupPermutation(t, rng.Hash64(seed, uint64(i))))
@@ -307,7 +308,7 @@ type Demand struct {
 // destinations into switch-level demands for the throughput model.
 // Self-destinations and same-switch pairs carry no network load and
 // are omitted.
-func SwitchDemands(t *topo.Topology, p Deterministic) []Demand {
+func SwitchDemands(t *topo.Compiled, p Deterministic) []Demand {
 	acc := make(map[[2]int32]float64)
 	for src := 0; src < t.NumNodes(); src++ {
 		dst := p.DestOf(src)

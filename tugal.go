@@ -41,8 +41,9 @@ import (
 	"tugal/internal/traffic"
 )
 
-// Topology is a Dragonfly instance dfly(p,a,h,g).
-type Topology = topo.Topology
+// Topology is a compiled topology instance of any supported family:
+// the Dragonfly dfly(p,a,h,g) or the swapped Dragonfly d3(K,M).
+type Topology = topo.Compiled
 
 // Params are the four Dragonfly parameters.
 type Params = topo.Params
@@ -68,6 +69,13 @@ const (
 func NewTopologyArranged(p, a, h, g int, arr Arrangement) (*Topology, error) {
 	return topo.NewArranged(p, a, h, g, arr)
 }
+
+// NewD3Topology builds a swapped Dragonfly d3(K,M) (Draper) with p
+// terminals per switch (p=0 selects the default of 1): M groups of K
+// switches, one global slot per switch, K/M parallel links per group
+// pair, diameter 3. The whole pipeline — path policies, Algorithm 1,
+// routing, simulation — runs on it unchanged.
+func NewD3Topology(k, m, p int) (*Topology, error) { return topo.NewD3(k, m, p) }
 
 // Path is a concrete switch route.
 type Path = paths.Path

@@ -13,7 +13,7 @@ func TestFacadeTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	if tp.NumNodes() != 288 || tp.NumSwitches() != 72 || tp.K != 4 {
-		t.Fatalf("unexpected topology: %+v", tp.Params)
+		t.Fatalf("unexpected topology: %s", tp.Label())
 	}
 	if _, err := tugal.NewTopology(4, 8, 4, 12); err == nil {
 		t.Fatal("expected error for indivisible arrangement")
