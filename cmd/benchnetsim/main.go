@@ -84,6 +84,22 @@ type shardRun struct {
 	// figure of merit.
 	SteadyAllocsPerCycle float64 `json:"steadyAllocsPerCycle"`
 	SteadyBytesPerCycle  float64 `json:"steadyBytesPerCycle"`
+	// Phase is the per-phase wall breakdown (ns per cycle), measured on
+	// a separate post-settle probe with Config.PhaseTiming enabled so
+	// the clock reads never contaminate the timed run above.
+	Phase phaseNS `json:"phase"`
+}
+
+// phaseNS is a shardRun's per-cycle phase breakdown in nanoseconds.
+// On the sequential row ejection is inline in allocate and barrier is
+// zero; on engine rows deliver/allocate cover the coordinator's own
+// shard work and barrier its crew waits.
+type phaseNS struct {
+	Deliver  float64 `json:"deliverNS"`
+	Inject   float64 `json:"injectNS"`
+	Allocate float64 `json:"allocateNS"`
+	Eject    float64 `json:"ejectNS"`
+	Barrier  float64 `json:"barrierNS"`
 }
 
 // caseResult groups the rows of one benchmark case.
@@ -116,7 +132,7 @@ func fail(format string, args ...any) {
 // verifying every sharded result against the sequential one. Each
 // cell runs reps times; the row records the best wall time (the
 // engine is deterministic, so reps differ only by host noise).
-func runCase(c benchCase, shardCounts []int, reps int) caseResult {
+func runCase(c benchCase, shardCounts []int, reps int, verbose bool) caseResult {
 	res := caseResult{
 		Name:     c.name,
 		Topology: c.t.Label(),
@@ -173,6 +189,7 @@ func runCase(c benchCase, shardCounts []int, reps int) caseResult {
 			// cross-check.
 			const probe = 200
 			var steadyAllocs, steadyBytes float64
+			var phase phaseNS
 			if rep == 0 {
 				n.Run(0, c.settle, 0)
 				var sb, sa runtime.MemStats
@@ -181,11 +198,31 @@ func runCase(c benchCase, shardCounts []int, reps int) caseResult {
 				runtime.ReadMemStats(&sa)
 				steadyAllocs = float64(sa.Mallocs-sb.Mallocs) / probe
 				steadyBytes = float64(sa.TotalAlloc-sb.TotalAlloc) / probe
+				// Phase breakdown on its own probe: PhaseTiming adds
+				// clock reads to every cycle, so it never overlaps the
+				// wall measurement or the allocation probe (time.Now
+				// does not allocate, but separation keeps each number
+				// answering exactly one question).
+				n.Cfg.PhaseTiming = true
+				n.ResetPhaseTimes()
+				n.Run(0, probe, 0)
+				pt := n.PhaseTimes()
+				cyc := float64(pt.Cycles)
+				phase = phaseNS{
+					Deliver:  float64(pt.DeliverNS) / cyc,
+					Inject:   float64(pt.InjectNS) / cyc,
+					Allocate: float64(pt.AllocNS) / cyc,
+					Eject:    float64(pt.EjectNS) / cyc,
+					Barrier:  float64(pt.BarrierNS) / cyc,
+				}
+				n.Cfg.PhaseTiming = false
 			}
 			if rep == 0 || wall.Seconds() < row.WallSeconds {
 				keepSteadyAllocs, keepSteadyBytes := row.SteadyAllocsPerCycle, row.SteadyBytesPerCycle
+				keepPhase := row.Phase
 				if rep == 0 {
 					keepSteadyAllocs, keepSteadyBytes = steadyAllocs, steadyBytes
+					keepPhase = phase
 				}
 				row = shardRun{
 					Shards:               shards,
@@ -196,6 +233,7 @@ func runCase(c benchCase, shardCounts []int, reps int) caseResult {
 					BytesPerCycle:        float64(after.TotalAlloc-before.TotalAlloc) / float64(c.cycles),
 					SteadyAllocsPerCycle: keepSteadyAllocs,
 					SteadyBytesPerCycle:  keepSteadyBytes,
+					Phase:                keepPhase,
 				}
 			}
 		}
@@ -209,6 +247,11 @@ func runCase(c benchCase, shardCounts []int, reps int) caseResult {
 		fmt.Printf("%-8s shards=%d workers=%d  %8.2fs  %9.0f cycles/s  %.2fx  %.1f allocs/cycle (%.2f steady)\n",
 			c.name, shards, row.Workers, row.WallSeconds, row.CyclesPerSec, row.Speedup,
 			row.AllocsPerCycle, row.SteadyAllocsPerCycle)
+		if verbose {
+			p := row.Phase
+			fmt.Printf("%-8s   phase ns/cycle: deliver %.0f  inject %.0f  allocate %.0f  eject %.0f  barrier %.0f\n",
+				"", p.Deliver, p.Inject, p.Allocate, p.Eject, p.Barrier)
+		}
 	}
 	return res
 }
@@ -217,7 +260,13 @@ func main() {
 	out := flag.String("o", "BENCH_netsim.json", "write the JSON report to this file")
 	quick := flag.Bool("quick", false, "CI tier: g=9 only, short windows")
 	reps := flag.Int("reps", 3, "repetitions per cell; the best wall time is recorded")
-	min := flag.Float64("min", 0, "fail unless sw702 1-shard cycles/s reaches this floor (0 = no check; ignored with -quick)")
+	min := flag.Float64("min", 0, "fail unless sw702 1-shard cycles/s reaches this floor "+
+		"(0 = no check; ignored with -quick, and skipped on multi-core hosts — "+
+		"the floor is calibrated on the single-core reference runner)")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail unless some sharded row beats the "+
+		"sequential row by this factor (0 = no check; skipped on single-core hosts, "+
+		"where sharded rows can only measure engine overhead)")
+	verbose := flag.Bool("v", false, "print the per-phase ns/cycle breakdown of every row")
 	flag.Parse()
 	if *reps < 1 {
 		fail("-reps must be >= 1, got %d", *reps)
@@ -243,17 +292,40 @@ func main() {
 		Reps:       *reps,
 	}
 	for _, c := range cases {
-		rep.Cases = append(rep.Cases, runCase(c, []int{1, 2, 4, 8}, *reps))
+		rep.Cases = append(rep.Cases, runCase(c, []int{1, 2, 4, 8}, *reps, *verbose))
 	}
 	if *min > 0 && !*quick {
-		got := 0.0
-		for _, c := range rep.Cases {
-			if c.Name == "sw702" {
-				got = c.Runs[0].CyclesPerSec
+		if rep.NumCPU > 1 {
+			fmt.Printf("skipping -min floor check: %d CPUs (floor is calibrated single-core)\n", rep.NumCPU)
+		} else {
+			got := 0.0
+			for _, c := range rep.Cases {
+				if c.Name == "sw702" {
+					got = c.Runs[0].CyclesPerSec
+				}
+			}
+			if got < *min {
+				fail("sw702 1-shard throughput %.0f cycles/s is below the -min floor %.0f", got, *min)
 			}
 		}
-		if got < *min {
-			fail("sw702 1-shard throughput %.0f cycles/s is below the -min floor %.0f", got, *min)
+	}
+	if *minSpeedup > 0 {
+		if rep.NumCPU <= 1 {
+			fmt.Println("skipping -minspeedup check: single-core host, sharded rows only measure engine overhead")
+		} else {
+			best, bestCase := 0.0, ""
+			for _, c := range rep.Cases {
+				for _, r := range c.Runs {
+					if r.Shards > 1 && r.Speedup > best {
+						best, bestCase = r.Speedup, c.Name
+					}
+				}
+			}
+			if best < *minSpeedup {
+				fail("best shard speedup %.2fx (%s) is below the -minspeedup floor %.2fx on a %d-CPU host",
+					best, bestCase, *minSpeedup, rep.NumCPU)
+			}
+			fmt.Printf("best shard speedup %.2fx (%s) on %d CPUs\n", best, bestCase, rep.NumCPU)
 		}
 	}
 

@@ -140,7 +140,8 @@ func TestActiveSetInvariants(t *testing.T) {
 		}
 		if doEnq {
 			f := mkFlit()
-			n.enqueue(n.shardOf(sw), sw, port, vc, f, headEmpty, n.fa.packRW(f, 1))
+			pi := int(sw)*n.ports + port
+			n.enqueue(n.shardOf(sw), sw, port, vc, pi, pi*n.numVCs+vc, f, headEmpty, n.fa.packRW(f, 1))
 			occupied = append(occupied, slotRef{sw, port, vc})
 			checkScanState(t, n, sw, i)
 		} else if len(occupied) > 0 {
@@ -148,7 +149,8 @@ func TestActiveSetInvariants(t *testing.T) {
 			ref := occupied[k]
 			occupied[k] = occupied[len(occupied)-1]
 			occupied = occupied[:len(occupied)-1]
-			if f, _ := n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc); f < 0 {
+			pi := int(ref.sw)*n.ports + ref.port
+			if f, _ := n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc, pi, pi*n.numVCs+ref.vc); f < 0 {
 				t.Fatalf("step %d: dequeue returned invalid slot %d", i, f)
 			}
 			checkScanState(t, n, ref.sw, i)
@@ -157,7 +159,8 @@ func TestActiveSetInvariants(t *testing.T) {
 	// Drain everything and verify the global quiescent state: no
 	// active bits, no masks, all caches empty.
 	for _, ref := range occupied {
-		n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc)
+		pi := int(ref.sw)*n.ports + ref.port
+		n.dequeue(n.shardOf(ref.sw), ref.sw, ref.port, ref.vc, pi, pi*n.numVCs+ref.vc)
 	}
 	for sw := 0; sw < tp.NumSwitches(); sw++ {
 		checkScanState(t, n, int32(sw), steps)

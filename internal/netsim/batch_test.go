@@ -1,0 +1,80 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"tugal/internal/topo"
+	"tugal/internal/traffic"
+)
+
+// runBatchVariant builds a fresh network with the given shard count
+// and forces the region-batched drain on or off, overriding the
+// default (batched exactly when fastCredits). The RunResult is the
+// observation the equivalence property quantifies over.
+func runBatchVariant(tp *topo.Compiled, cfg Config, pat traffic.Pattern, rate float64, shards int, batched bool) RunResult {
+	cfg.Shards = shards
+	if shards > 1 {
+		cfg.ShardWorkers = shards
+	}
+	n := New(tp, cfg, minRouter{tp}, pat, rate)
+	if batched && !n.fastCredits {
+		panic("batch_test: variant expected fastCredits for minRouter")
+	}
+	n.batchDrain = batched
+	return n.Run(500, 400, 800)
+}
+
+// TestBatchedDrainEquivalence is the observation-equivalence property
+// of the region-batched drains (batch.go): over randomized
+// configurations — topology, VC count, speedup, packet size, pattern,
+// load, seed — the counting-sorted batched drain must produce a
+// RunResult identical to the scan-order drain, at one shard and at
+// several, in every combination. Results are compared as Go struct
+// equality, which for the float64 statistics is Float64bits-level:
+// Welford means and histogram quantiles must agree in every bit, not
+// within a tolerance, because the batch pass is a reordering of
+// commutative per-router work, not a reassociation of float sums.
+// Loads are drawn high enough that wheel buckets regularly exceed
+// batchMin, so the batched path genuinely executes rather than
+// falling through to the scan loop.
+func TestBatchedDrainEquivalence(t *testing.T) {
+	topos := []*topo.Compiled{
+		topo.MustNew(2, 4, 2, 9),  // 36 switches, 72 nodes
+		topo.MustNew(3, 6, 3, 10), // 60 switches, 180 nodes
+	}
+	rnd := rand.New(rand.NewSource(20260808))
+	trials := 6
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		tp := topos[trial%len(topos)]
+		cfg := DefaultConfig()
+		cfg.Seed = 1 + uint64(rnd.Intn(1<<30))
+		cfg.NumVCs = 3 + rnd.Intn(3)
+		cfg.SpeedUp = 1 + rnd.Intn(2)
+		if rnd.Intn(2) == 1 {
+			cfg.PacketSize = 4 // wormhole: multi-flit drains and credits
+		}
+		rate := 0.15 + 0.55*rnd.Float64()
+		var pat traffic.Pattern = traffic.Uniform{T: tp}
+		if rnd.Intn(2) == 1 {
+			pat = traffic.Shift{T: tp, DG: 1 + rnd.Intn(2), DS: 0}
+		}
+
+		want := runBatchVariant(tp, cfg, pat, rate, 1, false)
+		for _, shards := range []int{1, 2, 4} {
+			for _, batched := range []bool{false, true} {
+				if shards == 1 && !batched {
+					continue // the reference itself
+				}
+				got := runBatchVariant(tp, cfg, pat, rate, shards, batched)
+				if got != want {
+					t.Errorf("trial %d (vcs=%d su=%d pkt=%d rate=%.3f pat=%T): shards=%d batched=%v diverged:\n got  %+v\n want %+v",
+						trial, cfg.NumVCs, cfg.SpeedUp, cfg.PacketSize, rate, pat, shards, batched, got, want)
+				}
+			}
+		}
+	}
+}

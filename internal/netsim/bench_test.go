@@ -76,6 +76,41 @@ func BenchmarkStepArena(b *testing.B) {
 	b.ReportMetric(cycles*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// TestSteadyStateAllocs pins the zero-steady-state-allocation
+// contract at every shard count, including the worker crew: once a
+// network is warmed past the transient (ring growth, calendar bucket
+// growth, shard mailbox growth all happen during ramp), extending the
+// simulation must allocate nothing — on the coordinator or on any
+// engine worker. AllocsPerRun measures the global malloc counter, so
+// a worker goroutine that allocates per cycle fails the test just as
+// the main loop would. This is the regression gate behind the
+// "0.00 steady" column cmd/benchnetsim records.
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc steadiness needs full warmup; skipped in -short")
+	}
+	tp := topo.MustNew(4, 8, 4, 9)
+	rf := routing.NewUGALL(tp, paths.Full{T: tp})
+	for _, shards := range []int{1, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := netsim.DefaultConfig()
+			cfg.Shards = shards
+			if shards > 1 {
+				cfg.ShardWorkers = shards
+			}
+			n := netsim.New(tp, cfg, rf.CloneRouting(),
+				traffic.Shift{T: tp, DG: 2, DS: 0}, 0.15)
+			n.Run(800, 200, 0) // past the transient: buffers at steady size
+			allocs := testing.AllocsPerRun(3, func() {
+				n.Run(0, 200, 0)
+			})
+			if allocs > 0 {
+				t.Errorf("steady-state Run allocated %.1f times per 200-cycle window, want 0", allocs)
+			}
+		})
+	}
+}
+
 // BenchmarkInjectActive isolates the O(active) injection win: a large
 // network at a load so low that almost every terminal is idle almost
 // every cycle — the regime where the former full node scan dominated.

@@ -76,6 +76,13 @@ type Config struct {
 	// count; the knob exists for benchmarks and race tests that must
 	// exercise true multi-worker stepping regardless of budget.
 	ShardWorkers int
+	// PhaseTiming accumulates a wall-clock breakdown of each cycle's
+	// phases (PhaseTimes reads it). A handful of clock reads per cycle
+	// — noise against any real topology's cycle cost, but nonzero, so
+	// it is opt-in and benchmarks enable it on a separate probe run
+	// rather than the timed one. Timing never affects simulation
+	// results.
+	PhaseTiming bool
 }
 
 // DefaultConfig returns Table 3: 4 VCs, 32-flit buffers, 10/15-cycle
@@ -360,6 +367,10 @@ type Network struct {
 
 	now int64
 
+	// phase accumulates the per-phase wall-clock breakdown when
+	// Cfg.PhaseTiming is set (see PhaseTimes).
+	phase PhaseTimes
+
 	// Cached topology dimensions (avoids method calls in the loop).
 	ports, numVCs, nonTerm int
 
@@ -450,6 +461,11 @@ type Network struct {
 	// in their original emission order.
 	creditWheel [][]int32
 	fastCredits bool
+	// batchDrain enables the region-sorted wheel drains of batch.go.
+	// Set exactly when fastCredits is (the interleaving of an
+	// in-flight reviser's credit events is semantic, see batch.go);
+	// equivalence tests clear it to compare against the scan order.
+	batchDrain bool
 
 	// shards is the static contiguous router partition (always at
 	// least one entry; exactly one when stepping sequentially). Each
@@ -549,6 +565,7 @@ func New(t *topo.Compiled, cfg Config, rf RoutingFunc, pat traffic.Pattern, rate
 	}
 	if ir, ok := rf.(InFlightReviser); ok && !ir.RevisesInFlight() {
 		n.fastCredits = true
+		n.batchDrain = true
 	}
 	if rate > 0 && rate < 1 {
 		n.logq = math.Log(1 - rate)
@@ -668,8 +685,30 @@ func (n *Network) build() {
 	}
 	nodes := t.NumNodes()
 	n.nodeQ = make([]ringQ, nodes)
+	// Pre-size every source queue: first-push and doubling allocations
+	// otherwise land mid-simulation (they dominated timed allocation
+	// counts), and queues keep setting depth maxima far into a run, so
+	// only reserving the full cap actually reaches zero steady-state
+	// allocations. See sourceQueueReserveBudget.
+	if n.rate > 0 {
+		reserve := sourceQueueCap
+		if nodes*sourceQueueCap*4 > sourceQueueReserveBudget {
+			reserve = sourceQueueReserveMin
+		}
+		for i := range n.nodeQ {
+			n.nodeQ[i].reserve(reserve)
+		}
+	}
 	n.nextGen = make([]int64, nodes)
-	n.genCal.init(t.NumNodes())
+	// Expected calendar bucket high water: the mean due-node count of
+	// one cycle plus a five-sigma Poisson margin, so pre-sized buckets
+	// essentially never double.
+	expectDue := 0
+	if n.rate > 0 {
+		m := float64(nodes) * math.Min(1, n.rate)
+		expectDue = int(m+5*math.Sqrt(m)) + 16
+	}
+	n.genCal.init(t.NumNodes(), expectDue)
 	n.srcActive = make([]int32, 0, nodes)
 	n.srcNext = make([]int32, 0, nodes)
 	for i := range n.nextGen {

@@ -46,6 +46,21 @@ func (q *ringQ) peek() int32 {
 	return q.buf[q.head&uint32(len(q.buf)-1)]
 }
 
+// reserve pre-sizes the buffer to hold at least c slots (rounded up
+// to a power of two), so pushes below that depth never allocate. Only
+// valid on an empty queue — build-time use; it does not move contents.
+func (q *ringQ) reserve(c int) {
+	if c <= len(q.buf) || q.head != q.tail {
+		return
+	}
+	n := 1
+	for n < c {
+		n <<= 1
+	}
+	q.buf = make([]int32, n)
+	q.head, q.tail = 0, 0
+}
+
 // grow doubles capacity (starting at 8), unwrapping the live window
 // to the front of the new buffer and resetting the cursors — cursor
 // values are not preserved across growth, only queue contents and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"time"
 
 	"tugal/internal/topo"
 )
@@ -228,12 +229,59 @@ func (n *Network) step() {
 	}
 }
 
+// PhaseTimes is the accumulated wall-clock breakdown of the stepper's
+// phases across every cycle run with Config.PhaseTiming set. On the
+// sequential stepper ejection is inline in allocation (AllocateNS
+// includes it, EjectNS stays zero) and BarrierNS is zero; on the
+// engine-driven sharded stepper DeliverNS/AllocateNS count only the
+// coordinating goroutine's own shard work, and BarrierNS is the time
+// it spent waiting on the rest of the crew (the fused cycle has two
+// such waits: pre-inject and end-of-cycle).
+type PhaseTimes struct {
+	Cycles    int64
+	DeliverNS int64
+	InjectNS  int64
+	AllocNS   int64
+	EjectNS   int64
+	BarrierNS int64
+}
+
+// PhaseTimes returns the breakdown accumulated so far; zero-valued
+// unless Config.PhaseTiming was set during the cycles of interest.
+func (n *Network) PhaseTimes() PhaseTimes { return n.phase }
+
+// ResetPhaseTimes clears the accumulators (e.g. after warmup, so a
+// probe window's breakdown is not diluted by ramp cycles).
+func (n *Network) ResetPhaseTimes() { n.phase = PhaseTimes{} }
+
 // stepSeq is the sequential stepper: one global timing wheel, inline
 // delivery and ejection.
 func (n *Network) stepSeq() {
+	if n.Cfg.PhaseTiming {
+		n.stepSeqTimed()
+		return
+	}
 	n.deliverEvents()
 	n.inject()
 	n.allocateShard(0)
+	n.now++
+}
+
+// stepSeqTimed is stepSeq with the phase clock (same calls, same
+// order — timing can never change results).
+func (n *Network) stepSeqTimed() {
+	t0 := time.Now()
+	n.deliverEvents()
+	t1 := time.Now()
+	n.inject()
+	t2 := time.Now()
+	n.allocateShard(0)
+	t3 := time.Now()
+	ph := &n.phase
+	ph.Cycles++
+	ph.DeliverNS += t1.Sub(t0).Nanoseconds()
+	ph.InjectNS += t2.Sub(t1).Nanoseconds()
+	ph.AllocNS += t3.Sub(t2).Nanoseconds()
 	n.now++
 }
 
@@ -244,21 +292,25 @@ func (n *Network) stepSeq() {
 // so every router lives in the single shard 0.
 func (n *Network) deliverEvents() {
 	slot := int(n.nowSlot)
+	sh := &n.shards[0]
 	cb := n.creditWheel[slot]
-	for _, ci := range cb {
-		n.credits[ci]++
-	}
+	n.drainCredits(sh, cb)
 	n.creditWheel[slot] = cb[:0]
 	bucket := n.wheel[slot]
-	sh := &n.shards[0]
-	for i := range bucket {
-		ev := bucket[i]
-		if ev.flit >= 0 {
-			n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), ev.flit, ev.hop, ev.rw)
-		} else {
-			// Interleaved credit of an in-flight reviser (see
-			// returnCredit).
-			n.credits[(int(ev.r)*n.nonTerm+int(ev.port)-n.T.P)*n.numVCs+int(ev.vc)]++
+	if n.batchDrain && len(bucket) >= batchMin {
+		n.drainBatched(sh, bucket)
+	} else {
+		for i := range bucket {
+			ev := bucket[i]
+			if ev.flit >= 0 {
+				pi := int(ev.r)*n.ports + int(ev.port)
+				n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), pi, pi*n.numVCs+int(ev.vc),
+					ev.flit, ev.hop, ev.rw)
+			} else {
+				// Interleaved credit of an in-flight reviser (see
+				// returnCredit).
+				n.credits[(int(ev.r)*n.nonTerm+int(ev.port)-n.T.P)*n.numVCs+int(ev.vc)]++
+			}
 		}
 	}
 	n.wheel[slot] = bucket[:0]
@@ -277,16 +329,30 @@ const (
 // it only bounds memory on deeply oversubscribed runs.
 const sourceQueueCap = 512
 
+// Source queues are pre-sized at build (see build): a queue's depth is
+// capped at sourceQueueCap, so reserving the cap outright makes the
+// source queues allocation-free for the network's lifetime — heavy
+// patterns (adversarial shifts near saturation) demonstrably push
+// queues all the way there, so any smaller reserve keeps producing
+// new-maximum growth deep into a run. sourceQueueReserveBudget bounds
+// the total spend; past it (≳16k nodes) queues fall back to a small
+// reserve that still absorbs the common early doublings.
+const (
+	sourceQueueReserveBudget = 64 << 20
+	sourceQueueReserveMin    = 64
+)
+
 // enqueue pushes flit slot f into input buffer (port, vc) of switch
 // sw, maintaining occupancy counters, scan masks and the head cache.
-// sw must belong to shard sh (whose ring arena backs the queue). hop
-// is the flit's pre-decoded next hop at this router (headEmpty for
-// the lazy Revisable path). PAR revision fires when the flit becomes
-// the buffer head (the point a progressive router recomputes the
-// route).
-func (n *Network) enqueue(sh *simShard, sw int32, port, vc int, f int32, hop uint16, rw uint64) {
-	pi := int(sw)*n.ports + port
-	g := pi*n.numVCs + vc
+// sw must belong to shard sh (whose ring arena backs the queue). pi
+// and g are the caller's precomputed port index (sw*ports+port) and
+// global queue slot (pi*numVCs+vc) — every call site already has
+// them in hand for its own indexing, so enqueue takes them instead
+// of redoing the multiply chain per flit. hop is the flit's
+// pre-decoded next hop at this router (headEmpty for the lazy
+// Revisable path). PAR revision fires when the flit becomes the
+// buffer head (the point a progressive router recomputes the route).
+func (n *Network) enqueue(sh *simShard, sw int32, port, vc, pi, g int, f int32, hop uint16, rw uint64) {
 	m := n.qMeta[g]
 	head, tail := uint8(m), uint8(m>>8)
 	n.inOcc[pi]++
@@ -314,10 +380,8 @@ func (n *Network) enqueue(sh *simShard, sw int32, port, vc int, f int32, hop uin
 }
 
 // dequeue pops the head of input buffer (port, vc) of switch sw,
-// maintaining counters, masks and the head cache.
-func (n *Network) dequeue(sh *simShard, sw int32, port, vc int) (int32, uint64) {
-	pi := int(sw)*n.ports + port
-	g := pi*n.numVCs + vc
+// maintaining counters, masks and the head cache. pi/g as in enqueue.
+func (n *Network) dequeue(sh *simShard, sw int32, port, vc, pi, g int) (int32, uint64) {
 	m := n.qMeta[g]
 	head, tail := uint8(m), uint8(m>>8)
 	f := int32(uint32(m >> 32))
@@ -591,7 +655,8 @@ func (n *Network) injectNode(node int32, due bool, nextActive []int32) []int32 {
 	if n.ovcOwner == nil && fa.rec[f].flags&fRevisable == 0 {
 		rw = fa.packRW(f, 1)
 	}
-	n.enqueue(n.shardOf(sw), sw, termPort, 0, f, hop, rw)
+	pi := int(sw)*n.ports + termPort
+	n.enqueue(n.shardOf(sw), sw, termPort, 0, pi, pi*n.numVCs, f, hop, rw)
 	if q.len() > 0 {
 		nextActive = append(nextActive, node)
 	}
@@ -643,18 +708,45 @@ func (n *Network) refusePacket(f int32, q *ringQ, measured bool) {
 // allocateShard performs switch allocation for every active router
 // of shard s, in ascending router-id order. The active bitset —
 // maintained exactly by enqueue/dequeue — replaces the former scan
-// over all routers; each word is iterated from a copy, so a router
-// clearing its own bit on going idle does not perturb the scan.
+// over all routers. The set bits are first materialized into the
+// shard's reusable worklist (the same snapshot-ascending order the
+// former word-copy iteration produced: allocateRouter only ever
+// clears bits of the router it is arbitrating, never sets one), and
+// the sweep early-touches the next routers' occupied qMeta lines —
+// guided by their portMask words, so only lines the allocator will
+// actually probe get pulled — plus their credit base, allocPF
+// routers ahead (see batch.go).
 func (n *Network) allocateShard(s int) {
 	sh := &n.shards[s]
-	base := int(sh.lo)
+	lst := sh.actList[:0]
+	base := sh.lo
 	for w, word := range sh.active {
+		wb := base + int32(w)<<6
 		for word != 0 {
-			b := trailingZeros(word)
+			lst = append(lst, wb+int32(trailingZeros(word)))
 			word &= word - 1
-			n.allocateRouter(base+w*64+b, sh)
 		}
 	}
+	sh.actList = lst
+	numVCs := n.numVCs
+	qPerSw := n.ports * numVCs
+	cPerSw := n.nonTerm * numVCs
+	var sink uint64
+	for i := 0; i < len(lst); i++ {
+		if i+allocPF < len(lst) {
+			nid := int(lst[i+allocPF])
+			hb := nid * qPerSw
+			pm := n.portMask[nid]
+			for pm != 0 {
+				p := trailingZeros(pm)
+				pm &= pm - 1
+				sink += n.qMeta[hb+p*numVCs]
+			}
+			sink += uint64(uint16(n.credits[nid*cPerSw]))
+		}
+		n.allocateRouter(int(lst[i]), sh)
+	}
+	sh.sink += sink
 }
 
 // allocateRouter arbitrates one router: up to SpeedUp passes per
@@ -675,6 +767,13 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 	termPorts := n.T.P
 	numVCs := n.numVCs
 	fa := &n.fa
+	// Hot arrays come off n once: the arbitration loop stores through
+	// several of them, and without the local copies the compiler must
+	// reload each slice header after every store (it cannot prove the
+	// element stores leave n's fields alone).
+	qMeta := n.qMeta
+	credits := n.credits
+	vcMaskA := n.vcMask
 	var outUsed uint64
 	// rrPort is stored pre-wrapped so the rotation costs no divide.
 	rot := int(n.rrPort[swi]) + 1
@@ -721,7 +820,7 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 				// order. The mask is a snapshot, but at most one grant
 				// leaves this loop per port per pass, so it never goes
 				// stale while scanned.
-				vm := uint32(n.vcMask[pBase+port])
+				vm := uint32(vcMaskA[pBase+port])
 				rm := (vm>>vcStart | vm<<(numVCs-vcStart)) & vcFull
 				for rm != 0 {
 					vb := bits.TrailingZeros32(rm)
@@ -730,7 +829,7 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 					if vc >= numVCs {
 						vc -= numVCs
 					}
-					qm := n.qMeta[hBase+port*numVCs+vc]
+					qm := qMeta[hBase+port*numVCs+vc]
 					head := uint16(qm >> 16)
 					out := int(head >> 8)
 					if outUsed&(1<<out) != 0 {
@@ -739,8 +838,8 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 					if out < termPorts {
 						// Ejection.
 						outUsed |= 1 << out
-						f, _ := n.dequeue(sh, int32(swi), port, vc)
-						n.returnCredit(sh, swi, port, vc)
+						f, _ := n.dequeue(sh, int32(swi), port, vc, pBase+port, hBase+port*numVCs+vc)
+						n.returnCredit(sh, pBase+port, vc)
 						if sh.wheel == nil {
 							n.deliver(f)
 						} else {
@@ -749,7 +848,7 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 					} else {
 						outVC := int(head & 0xff)
 						ci := cBase + (out-termPorts)*numVCs + outVC
-						if n.credits[ci] <= 0 {
+						if credits[ci] <= 0 {
 							continue
 						}
 						if n.ovcOwner != nil {
@@ -767,9 +866,9 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 							}
 						}
 						outUsed |= 1 << out
-						n.credits[ci]--
-						f, rw := n.dequeue(sh, int32(swi), port, vc)
-						n.returnCredit(sh, swi, port, vc)
+						credits[ci]--
+						f, rw := n.dequeue(sh, int32(swi), port, vc, pBase+port, hBase+port*numVCs+vc)
+						n.returnCredit(sh, pBase+port, vc)
 						var hop uint16
 						if rw&rwSlow == 0 {
 							// Fast flit: the next hop comes off the packed
@@ -797,15 +896,25 @@ func (n *Network) allocateRouter(swi int, sh *simShard) {
 							}
 							// Decode the flit's next hop now, while its
 							// arena lines are hot, and ship it inside the
-							// event; Revisable flits get the lazy sentinel
-							// instead — their route (and routeRNG draw)
-							// must resolve at head-arrival time.
+							// event; flits whose ROUTE slot is still
+							// Revisable get the lazy sentinel instead —
+							// their route (and routeRNG draw) must resolve
+							// at head-arrival time. The check reads the
+							// route slot (the head, for body flits), not
+							// the flit itself: a wormhole body emitted
+							// while its head is still in flight toward its
+							// revision point would otherwise freeze the
+							// pre-revision hop into the event and chase a
+							// channel the (diverted) head never acquired,
+							// wedging the queue forever. Once the head's
+							// revision clears the flag, bodies decode
+							// eagerly from the now-final route.
 							hop = headEmpty
-							if fa.rec[f].flags&fRevisable == 0 {
-								rs := f
-								if h := fa.rec[f].headOf; h >= 0 {
-									rs = h
-								}
+							rs := f
+							if h := fa.rec[f].headOf; h >= 0 {
+								rs = h
+							}
+							if fa.rec[rs].flags&fRevisable == 0 {
 								nh := fa.rec[rs].route[hi]
 								hop = uint16(uint8(nh.Port))<<8 | uint16(uint8(nh.VC))
 							}
@@ -839,8 +948,9 @@ func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }
 // returnCredit sends a credit for the freed input slot back to the
 // upstream router (no-op for terminal inputs), through the emitting
 // shard's event sink — the upstream router may live in another shard.
-func (n *Network) returnCredit(sh *simShard, swi, port, vc int) {
-	desc := n.credDesc[swi*n.ports+port]
+// pi is the caller's precomputed port index (sw*ports+port).
+func (n *Network) returnCredit(sh *simShard, pi, vc int) {
+	desc := n.credDesc[pi]
 	if desc == 0 {
 		return
 	}
@@ -849,7 +959,7 @@ func (n *Network) returnCredit(sh *simShard, swi, port, vc int) {
 		// mid-delivery, so its credits must stay interleaved with flit
 		// events in emission order on the shared wheel. Reverse channel
 		// has the same latency as the forward one.
-		up := n.inChan[swi*n.ports+port]
+		up := n.inChan[pi]
 		oi := int(up.r)*n.nonTerm + int(up.port) - n.T.P
 		n.emit(sh, int(n.outLat[oi]), event{flit: -1, r: up.r, port: up.port, vc: int8(vc)})
 		return

@@ -3,7 +3,9 @@ package netsim
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync/atomic"
+	"time"
 
 	"tugal/internal/exec"
 )
@@ -73,6 +75,15 @@ type simShard struct {
 	cwheel  [][]int32
 	coutbox [][]uint64
 	eject   []int32
+	// Region-batching scratch (batch.go): drainCnt/drainEv back the
+	// per-cycle counting sort of wheel buckets, actList the allocate
+	// phase's materialized active-router worklist. sink absorbs the
+	// software-prefetch early-touch loads so they cannot be optimized
+	// away; each shard only ever writes its own.
+	drainCnt []int32
+	drainEv  []event
+	actList  []int32
+	sink     uint64
 }
 
 // outEvent is a mailbox entry: the event plus its precomputed wheel
@@ -120,9 +131,47 @@ func (n *Network) buildShards() {
 			sh.outbox = make([][]outEvent, count)
 			sh.cwheel = make([][]int32, n.wheelLen)
 			sh.coutbox = make([][]uint64, count)
+			n.seedShardBuffers(sh, count)
 		}
 	}
 }
+
+// seedShardBuffers pre-sizes a shard's wheel buckets and mailboxes to
+// their worst-case per-cycle occupancy, so the exchange machinery
+// never allocates once built. The bounds are exact, not estimates:
+//   - A wheel bucket drains every cycle, and a channel's fixed latency
+//     maps each emission cycle to a distinct slot, so at drain time a
+//     bucket holds at most one flit per channel inbound to the shard.
+//   - Credits return on the paired reverse channel and each input port
+//     dequeues at most SpeedUp times per cycle, so a credit bucket
+//     holds at most SpeedUp entries per channel.
+//   - A mailbox collects one allocate phase: at most one flit per
+//     outbound channel (respectively SpeedUp credits), all of which
+//     may address the same destination shard.
+//
+// The full reserve across shards is O(switches·radix·(wheelLen +
+// shards)) — ~13MB on the largest benchmarked case — and is skipped
+// (growth falls back to amortized doubling, steady allocations stay
+// near but not exactly zero) when it would exceed a sanity budget.
+func (n *Network) seedShardBuffers(sh *simShard, count int) {
+	chans := int(sh.hi-sh.lo) * n.nonTerm
+	su := n.Cfg.SpeedUp
+	total := n.wheelLen*chans*(16+4*su) + count*chans*(24+8*su)
+	if total > shardSeedBudget {
+		return
+	}
+	for i := range sh.wheel {
+		sh.wheel[i] = make([]event, 0, chans)
+		sh.cwheel[i] = make([]int32, 0, chans*su)
+	}
+	for i := 0; i < count; i++ {
+		sh.outbox[i] = make([]outEvent, 0, chans)
+		sh.coutbox[i] = make([]uint64, 0, chans*su)
+	}
+}
+
+// shardSeedBudget caps the per-shard pre-reserve of seedShardBuffers.
+const shardSeedBudget = 32 << 20
 
 // markActive sets the router's bit in its shard's active set; called
 // when a router's buffered-flit count becomes non-zero.
@@ -142,33 +191,66 @@ func (n *Network) clearActive(id int32) {
 	sh.active[i>>6] &^= 1 << (i & 63)
 }
 
-// stepSharded is one cycle of the multi-shard stepper. The parallel
-// phases fan out over the engine's workers when a Run holds any, and
-// run inline (still through the mailbox machinery, so results are
-// identical) otherwise.
+// stepSharded is one cycle of the multi-shard stepper. The
+// deliver→inject→allocate sequence fans out over the engine's workers
+// when the current Run holds more than one, and runs inline (still
+// through the mailbox machinery, so results are identical) otherwise.
 func (n *Network) stepSharded() {
-	if e := n.engine; e != nil {
-		e.run(phaseDeliver)
+	if n.Cfg.PhaseTiming {
+		n.stepShardedTimed()
+		return
+	}
+	if e := n.engine; e != nil && n.lastWorkers > 1 {
+		e.runCycle(n)
 	} else {
 		for s := range n.shards {
 			n.shardDeliver(s)
 		}
-	}
-	n.inject()
-	if e := n.engine; e != nil {
-		e.run(phaseAllocate)
-	} else {
+		n.inject()
 		for s := range n.shards {
 			n.allocateShard(s)
 		}
 	}
-	// Drain ejection buffers in shard order = ascending router order:
-	// the exact order the sequential allocator calls deliver in, so
-	// the Welford/histogram floating-point accumulation (and arena
-	// free-list order) match bit for bit. Nothing reads delivery
-	// statistics or the free list between allocation and here, so
-	// deferring the calls past the allocate barrier cannot change any
-	// result.
+	n.drainEject()
+	n.now++
+}
+
+// stepShardedTimed is stepSharded with the phase clock.
+func (n *Network) stepShardedTimed() {
+	if e := n.engine; e != nil && n.lastWorkers > 1 {
+		e.runCycleTimed(n)
+	} else {
+		t0 := time.Now()
+		for s := range n.shards {
+			n.shardDeliver(s)
+		}
+		t1 := time.Now()
+		n.inject()
+		t2 := time.Now()
+		for s := range n.shards {
+			n.allocateShard(s)
+		}
+		t3 := time.Now()
+		ph := &n.phase
+		ph.DeliverNS += t1.Sub(t0).Nanoseconds()
+		ph.InjectNS += t2.Sub(t1).Nanoseconds()
+		ph.AllocNS += t3.Sub(t2).Nanoseconds()
+	}
+	t3 := time.Now()
+	n.drainEject()
+	n.phase.EjectNS += time.Since(t3).Nanoseconds()
+	n.phase.Cycles++
+	n.now++
+}
+
+// drainEject drains the per-shard ejection buffers in shard order =
+// ascending router order: the exact order the sequential allocator
+// calls deliver in, so the Welford/histogram floating-point
+// accumulation (and arena free-list order) match bit for bit. Nothing
+// reads delivery statistics or the free list between allocation and
+// here, so deferring the calls past the allocate barrier cannot
+// change any result.
+func (n *Network) drainEject() {
 	for s := range n.shards {
 		sh := &n.shards[s]
 		for _, f := range sh.eject {
@@ -176,7 +258,6 @@ func (n *Network) stepSharded() {
 		}
 		sh.eject = sh.eject[:0]
 	}
-	n.now++
 }
 
 // shardDeliver merges the mailboxes addressed to shard s — in fixed
@@ -204,14 +285,18 @@ func (n *Network) shardDeliver(s int) {
 	}
 	slot := int(n.nowSlot)
 	cb := sh.cwheel[slot]
-	for _, ci := range cb {
-		n.credits[ci]++
-	}
+	n.drainCredits(sh, cb)
 	sh.cwheel[slot] = cb[:0]
 	bucket := sh.wheel[slot]
-	for i := range bucket {
-		ev := bucket[i]
-		n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), ev.flit, ev.hop, ev.rw)
+	if n.batchDrain && len(bucket) >= batchMin {
+		n.drainBatched(sh, bucket)
+	} else {
+		for i := range bucket {
+			ev := bucket[i]
+			pi := int(ev.r)*n.ports + int(ev.port)
+			n.enqueue(sh, ev.r, int(ev.port), int(ev.vc), pi, pi*n.numVCs+int(ev.vc),
+				ev.flit, ev.hop, ev.rw)
+		}
 	}
 	sh.wheel[slot] = bucket[:0]
 }
@@ -237,38 +322,68 @@ func (n *Network) emit(sh *simShard, delay int, ev event) {
 	sh.outbox[d] = append(sh.outbox[d], outEvent{ev: ev, slot: slot})
 }
 
-// Engine phases, claimed shard by shard off an atomic counter.
-const (
-	phaseDeliver = iota
-	phaseAllocate
-)
-
-// shardEngine holds the worker goroutines of one Run. Workers park on
-// the wake channel between phases; run releases them, joins in with
-// the calling goroutine, and collects completions — two channel
-// rendezvous per phase, which also provide the memory barriers the
-// determinism argument needs. Worker count never affects results
-// (shards are independent within a phase), so the engine is free to
-// size itself off the shared CPU-token budget each Run.
+// shardEngine is the persistent worker crew of one Network. Workers
+// park on the wake channel between cycles and run the whole fused
+// deliver→(inject gate)→allocate sequence per wake: one channel send
+// releases a worker for the cycle and one buffered completion send
+// joins it, so a cycle costs 2·(workers-1) channel operations where
+// the per-phase engine this replaced paid 4·(workers-1). The
+// mid-cycle barrier pair — "all shards delivered" before the
+// sequential inject, "inject done" before any allocate claim — is a
+// pair of atomics the parties poll with runtime.Gosched, which on a
+// loaded host deschedules as cleanly as a channel park without the
+// wake/park round trip.
+//
+// Lifetime: the engine persists on its Network across Runs (creating
+// a crew per Run was the last per-Run allocation source and kept the
+// steady-state allocation figure from reading zero when Runs are
+// short). Workers deliberately hold only the engine — the Network
+// arrives through the wake channel each cycle — and teardown is wired
+// to the Network's reclamation with runtime.AddCleanup, which the
+// worker's engine-only reference cannot block. stop is idempotent so
+// an explicit rebuild (worker count changed) and the cleanup can race
+// harmlessly.
+//
+// Memory ordering: all cross-worker handoffs are through channel
+// operations or sync/atomic (sequentially consistent), so every write
+// a shard makes in deliver is visible to inject, every inject write is
+// visible to allocate, and every allocate write is visible to the
+// eject drain — the barriers the determinism argument needs.
 type shardEngine struct {
-	n       *Network
 	workers int
-	next    atomic.Int32
-	wake    chan int
-	done    chan struct{}
+	// cycle counts runCycle calls; workers mirror it locally (one wake
+	// = one cycle) and use it to gate on injDone.
+	cycle int64
+	// nextD/nextA are the deliver- and allocate-phase shard claim
+	// counters; both are reset before workers wake, so the fused pass
+	// needs no per-phase rendezvous to hand them out.
+	nextD, nextA atomic.Int32
+	// delivered counts workers (including the caller) whose deliver
+	// claims ran dry; injDone publishes the cycle whose injection has
+	// completed.
+	delivered atomic.Int32
+	injDone   atomic.Int64
+	stopped   atomic.Bool
+	wake      chan *Network
+	done      chan struct{}
 }
 
-func newShardEngine(n *Network, workers int) *shardEngine {
+func newShardEngine(workers int) *shardEngine {
 	e := &shardEngine{
-		n:       n,
 		workers: workers,
-		wake:    make(chan int),
+		wake:    make(chan *Network),
 		done:    make(chan struct{}, workers-1),
 	}
 	for i := 1; i < workers; i++ {
 		go func() {
-			for ph := range e.wake {
-				e.work(ph)
+			var cycle int64
+			for n := range e.wake {
+				cycle++
+				e.deliverPass(n)
+				for e.injDone.Load() < cycle {
+					runtime.Gosched()
+				}
+				e.allocatePass(n)
 				e.done <- struct{}{}
 			}
 		}()
@@ -276,44 +391,104 @@ func newShardEngine(n *Network, workers int) *shardEngine {
 	return e
 }
 
-// run executes one parallel phase across all shards and barriers.
-func (e *shardEngine) run(ph int) {
-	e.next.Store(0)
+// runCycle executes one fused deliver→inject→allocate cycle across
+// the crew, the caller participating as worker zero.
+func (e *shardEngine) runCycle(n *Network) {
+	e.cycle++
+	e.nextD.Store(0)
+	e.nextA.Store(0)
+	e.delivered.Store(0)
 	for i := 1; i < e.workers; i++ {
-		e.wake <- ph
+		e.wake <- n
 	}
-	e.work(ph)
+	e.deliverPass(n)
+	for e.delivered.Load() < int32(e.workers) {
+		runtime.Gosched()
+	}
+	n.inject()
+	e.injDone.Store(e.cycle)
+	e.allocatePass(n)
 	for i := 1; i < e.workers; i++ {
 		<-e.done
 	}
 }
 
-// work claims shards until none remain.
-func (e *shardEngine) work(ph int) {
-	n := e.n
+// runCycleTimed is runCycle with the phase clock, from the
+// coordinating goroutine's perspective: its own deliver/allocate shard
+// work, the sequential inject, and the two crew waits (pre-inject and
+// end-of-cycle) as BarrierNS.
+func (e *shardEngine) runCycleTimed(n *Network) {
+	e.cycle++
+	e.nextD.Store(0)
+	e.nextA.Store(0)
+	e.delivered.Store(0)
+	t0 := time.Now()
+	for i := 1; i < e.workers; i++ {
+		e.wake <- n
+	}
+	e.deliverPass(n)
+	t1 := time.Now()
+	for e.delivered.Load() < int32(e.workers) {
+		runtime.Gosched()
+	}
+	t2 := time.Now()
+	n.inject()
+	t3 := time.Now()
+	e.injDone.Store(e.cycle)
+	e.allocatePass(n)
+	t4 := time.Now()
+	for i := 1; i < e.workers; i++ {
+		<-e.done
+	}
+	t5 := time.Now()
+	ph := &n.phase
+	ph.DeliverNS += t1.Sub(t0).Nanoseconds()
+	ph.InjectNS += t3.Sub(t2).Nanoseconds()
+	ph.AllocNS += t4.Sub(t3).Nanoseconds()
+	ph.BarrierNS += t2.Sub(t1).Nanoseconds() + t5.Sub(t4).Nanoseconds()
+}
+
+// deliverPass claims deliver-phase shards until none remain, then
+// checks in at the pre-inject barrier.
+func (e *shardEngine) deliverPass(n *Network) {
 	for {
-		s := int(e.next.Add(1)) - 1
+		s := int(e.nextD.Add(1)) - 1
+		if s >= len(n.shards) {
+			break
+		}
+		n.shardDeliver(s)
+	}
+	e.delivered.Add(1)
+}
+
+// allocatePass claims allocate-phase shards until none remain.
+func (e *shardEngine) allocatePass(n *Network) {
+	for {
+		s := int(e.nextA.Add(1)) - 1
 		if s >= len(n.shards) {
 			return
 		}
-		if ph == phaseDeliver {
-			n.shardDeliver(s)
-		} else {
-			n.allocateShard(s)
-		}
+		n.allocateShard(s)
 	}
 }
 
-// stop releases the worker goroutines.
-func (e *shardEngine) stop() { close(e.wake) }
+// stop releases the worker goroutines; safe to call more than once
+// (explicit rebuild and the GC-driven cleanup may both get here).
+func (e *shardEngine) stop() {
+	if e.stopped.CompareAndSwap(false, true) {
+		close(e.wake)
+	}
+}
 
-// startEngine sizes and starts the worker crew for one Run, returning
-// the teardown. With Config.ShardWorkers unset the crew is sized from
-// the shared exec CPU-token budget — the calling goroutine (whose CPU
-// the enclosing pool task already accounts for) plus one worker per
+// startEngine sizes the worker crew for one Run, returning the
+// teardown. With Config.ShardWorkers unset the crew is sized from the
+// shared exec CPU-token budget — the calling goroutine (whose CPU the
+// enclosing pool task already accounts for) plus one worker per
 // acquired token — so a sharded simulation inside a saturated fan-out
 // gets zero extra workers instead of oversubscribing, and the tokens
-// return to the budget when the Run finishes.
+// return to the budget when the Run finishes. The crew itself outlives
+// the Run: it is rebuilt only when the resolved worker count changes,
+// and reaped with the Network (see shardEngine).
 func (n *Network) startEngine() func() {
 	n.lastWorkers = 1
 	if len(n.shards) <= 1 {
@@ -328,19 +503,27 @@ func (n *Network) startEngine() func() {
 		workers = len(n.shards)
 	}
 	n.lastWorkers = workers
-	if workers <= 1 {
-		return func() {
-			exec.ReleaseTokens(tokens)
+	if workers > 1 && (n.engine == nil || n.engine.workers != workers) {
+		if n.engine != nil {
+			n.engine.stop()
 		}
+		e := newShardEngine(workers)
+		n.engine = e
+		runtime.AddCleanup(n, func(e *shardEngine) { e.stop() }, e)
 	}
-	e := newShardEngine(n, workers)
-	n.engine = e
+	if tokens == 0 {
+		// Shared no-op: a closure capturing tokens would be this
+		// Run's one heap allocation.
+		return releaseNothing
+	}
 	return func() {
-		e.stop()
-		n.engine = nil
 		exec.ReleaseTokens(tokens)
 	}
 }
+
+// releaseNothing is startEngine's teardown when no CPU tokens were
+// acquired.
+var releaseNothing = func() {}
 
 // genCalendar buckets node ids by their next packet-generation cycle,
 // so inject pops exactly the nodes due at n.now instead of scanning
@@ -366,12 +549,27 @@ type genCalendar struct {
 	seen []uint64 // scratch bitmap, one bit per node
 }
 
-// genWheelBits sizes the near wheel: 64 cycles covers all but the
-// ~0.9^64 tail of a geometric gap at the lowest interesting load.
-const genWheelBits = 6
+// genWheelBits sizes the near wheel. 512 cycles puts the far-map spill
+// probability of a geometric gap at ~0.9^512 for the lowest interesting
+// load — with the 64-cycle wheel this replaced, the ~0.1% tail crossed
+// into the far map often enough (hundreds of nodes redrawing every
+// cycle) to keep map churn visible in steady-state allocation counts.
+const genWheelBits = 9
 
-func (c *genCalendar) init(numNodes int) {
+// init sizes the calendar. expectDue, when positive, is the expected
+// high-water bucket population (due nodes of one cycle); every near
+// bucket is pre-sized to it so steady-state adds never reallocate — a
+// recycled bucket otherwise carries whatever capacity its previous
+// slot needed, and a small one landing on a heavy slot doubles
+// mid-run, which is visible in steady-state allocation counts long
+// after warmup.
+func (c *genCalendar) init(numNodes, expectDue int) {
 	c.near = make([][]int32, 1<<genWheelBits)
+	if expectDue > 0 {
+		for i := range c.near {
+			c.near[i] = make([]int32, 0, expectDue)
+		}
+	}
 	c.far = make(map[int64][]int32)
 	c.seen = make([]uint64, (numNodes+63)/64)
 }
