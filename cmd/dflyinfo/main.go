@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"tugal/internal/paths"
+	"tugal/internal/route"
 	"tugal/internal/spec"
 	"tugal/internal/topo"
 )
@@ -31,6 +32,7 @@ func main() {
 	arrName := flag.String("arrangement", "absolute", "global link arrangement: absolute|relative")
 	topoSpec := flag.String("topo", "", spec.TopologyUsage+"; overrides -p/-a/-h/-g")
 	policies := flag.String("policies", "", "comma-separated path policies to compile and summarize (e.g. full,strategic:2,capped:4:0.6)")
+	tables := flag.Bool("tables", false, "also emit forwarding tables per -policies entry and summarize them (rows, bytes, candidates per row, build time)")
 	flag.Parse()
 
 	var t *topo.Compiled
@@ -61,7 +63,7 @@ func main() {
 	}
 	row := t.Table2()
 	fmt.Printf("topology:              %s\n", row.Topology)
-	
+
 	fmt.Printf("compute nodes (PEs):   %d\n", row.PEs)
 	fmt.Printf("switches:              %d\n", row.Switches)
 	fmt.Printf("groups:                %d\n", row.Groups)
@@ -123,5 +125,22 @@ func main() {
 		}
 		fmt.Printf("  store size:          %.1f MiB\n", float64(s.Bytes)/(1<<20))
 		fmt.Printf("  compile time:        %v\n", s.BuildTime.Round(time.Millisecond))
+
+		if *tables {
+			tb, err := route.Emit(st, route.Default())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dflyinfo:", err)
+				os.Exit(1)
+			}
+			ts := tb.Stats()
+			fmt.Printf("  forwarding tables:\n")
+			fmt.Printf("    rows (live/total): %d / %d\n", ts.Rows, ts.Pairs)
+			fmt.Printf("    MIN candidates:    %d\n", ts.MinWords)
+			fmt.Printf("    VLB candidates:    %d\n", ts.VLBWords)
+			fmt.Printf("    candidates/row:    %.1f avg, %d max\n", ts.AvgCandidates, ts.MaxCandidates)
+			fmt.Printf("    next-hop fanout:   %.1f avg (port,VC) entries/row\n", ts.AvgFirstHops)
+			fmt.Printf("    table size:        %.1f MiB\n", float64(ts.Bytes)/(1<<20))
+			fmt.Printf("    emit time:         %v\n", ts.BuildTime.Round(time.Millisecond))
+		}
 	}
 }

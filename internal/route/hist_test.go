@@ -1,0 +1,97 @@
+package route
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistBuckets pins the log-linear bucket map: lower bounds are
+// monotone, every value lands in a bucket whose range contains it,
+// and the relative error of the lower bound stays within one
+// sub-bucket (6.25%).
+func TestHistBuckets(t *testing.T) {
+	// Monotonicity over reachable buckets (for e >= 1 only sub-buckets
+	// 8..15 are produced: the value's leading bit pins the top of m).
+	prev := int64(-1)
+	for v := int64(0); v < 1_000_000; v = v + v/7 + 1 {
+		lo := histLow(histIdx(v))
+		if lo < prev {
+			t.Fatalf("value %d: lower bound %d below previous %d", v, lo, prev)
+		}
+		prev = lo
+	}
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1000, 123456, 1 << 40} {
+		i := histIdx(v)
+		lo := histLow(i)
+		if lo > v {
+			t.Fatalf("value %d mapped to bucket %d with lower bound %d > value", v, i, lo)
+		}
+		if v >= 16 && float64(v-lo)/float64(v) > 0.0625 {
+			t.Fatalf("value %d bucket error %.4f exceeds 6.25%%", v, float64(v-lo)/float64(v))
+		}
+	}
+}
+
+// TestHistPercentiles cross-checks Percentile against exact sorted
+// ranks of a random sample, within bucket resolution.
+func TestHistPercentiles(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var h Hist
+	vals := make([]int64, 20000)
+	for i := range vals {
+		v := int64(r.ExpFloat64() * 5000)
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count %d, want %d", h.Count(), len(vals))
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Percentile(q)
+		exact := vals[int(q*float64(len(vals)-1))]
+		// The histogram answers with its bucket's lower bound; allow
+		// one sub-bucket of slack either way.
+		lo := exact - exact/8 - 1
+		if got < lo || got > exact {
+			t.Fatalf("p%g = %d, exact %d (allowed [%d, %d])", q*100, got, exact, lo, exact)
+		}
+	}
+}
+
+// TestHistMerge checks that merged per-worker histograms answer like
+// one histogram fed everything.
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		all.Record(i)
+	}
+	for i := int64(1000); i < 3000; i++ {
+		b.Record(i)
+		all.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		if a.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("p%g: merged %d, combined %d", q*100, a.Percentile(q), all.Percentile(q))
+		}
+	}
+}
+
+// TestHistRecordAllocs pins the recording and query paths
+// allocation-free.
+func TestHistRecordAllocs(t *testing.T) {
+	var h Hist
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Record(12345)
+		_ = h.Percentile(0.99)
+	})
+	if allocs > 0 {
+		t.Errorf("Record/Percentile allocated %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,179 @@
+package route
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tugal/internal/netsim"
+	"tugal/internal/paths"
+	"tugal/internal/rng"
+	"tugal/internal/topo"
+)
+
+// Service is the long-lived serving layer over compiled forwarding
+// tables: an epoch-swapped table pointer read with one atomic load
+// per batch on the query path, and an RCU-style writer side that
+// composes topo failure deltas, paths.Store.ApplyFailures and
+// Tables.ApplyDelta into a single swap. Queries in flight during a
+// swap finish against the epoch they started on — no query is ever
+// dropped or torn — and the batch APIs allocate nothing once the
+// caller's buffers exist.
+type Service struct {
+	mode      Mode
+	threshold int
+
+	cur atomic.Pointer[Tables]
+
+	// mu serializes the writer side: mask mutation, store recompile,
+	// table delta emit, epoch swap.
+	mu    sync.Mutex
+	store *paths.Store
+	mask  *topo.FailureMask
+
+	served  atomic.Int64
+	batches atomic.Int64
+	swaps   atomic.Int64
+}
+
+// NewService emits tables from the store and wraps them in a serving
+// layer using the given lookup mode and UGAL threshold. The store
+// (and its mask, when degraded) becomes the service's recompilation
+// base: Fail derives every later epoch from it incrementally.
+func NewService(st *paths.Store, mode Mode, threshold int, cfg Config) (*Service, error) {
+	tb, err := Emit(st, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{mode: mode, threshold: threshold, store: st, mask: st.Mask()}
+	s.cur.Store(tb)
+	return s, nil
+}
+
+// Tables returns the current epoch's tables (atomic load; the result
+// stays valid and consistent however many swaps follow).
+func (s *Service) Tables() *Tables { return s.cur.Load() }
+
+// Mode returns the service's lookup mode.
+func (s *Service) Mode() Mode { return s.mode }
+
+// LookupBatch resolves len(out) queries — capped by the shorter of
+// src and dst, which hold node (terminal) ids — against one
+// consistent table epoch, writing a Decision per query. It returns
+// the number served. The whole batch is allocation-free; r drives
+// the candidate draws exactly as it would drive direct routing.
+func (s *Service) LookupBatch(r *rng.Source, src, dst []int32, out []Decision) int {
+	m := len(out)
+	if len(src) < m {
+		m = len(src)
+	}
+	if len(dst) < m {
+		m = len(dst)
+	}
+	tb := s.cur.Load()
+	t := tb.T
+	for i := 0; i < m; i++ {
+		d := tb.Lookup(r, s.mode, s.threshold,
+			t.SwitchOfNode(int(src[i])), t.SwitchOfNode(int(dst[i])))
+		if d.Hops == 0 && !d.Refused {
+			// Same-switch pair: the route is the bare ejection hop,
+			// whose port is the destination's terminal index.
+			d.Port = int8(t.NodeIndex(int(dst[i])))
+		}
+		out[i] = d
+	}
+	s.served.Add(int64(m))
+	s.batches.Add(1)
+	return m
+}
+
+// AppendRouteFor decodes decision d of a (src, dst) node query into
+// full netsim route hops — the form SourceRoute builds — appending
+// to buf. Refused decisions append nothing (the router's empty-route
+// sentinel).
+func (s *Service) AppendRouteFor(buf []netsim.RouteHop, d Decision, dstNode int32) []netsim.RouteHop {
+	if d.Refused {
+		return buf
+	}
+	t := s.cur.Load().T
+	return AppendRoute(buf, d.Word, int8(t.NodeIndex(int(dstNode))))
+}
+
+// SwapStats describes one completed failure epoch.
+type SwapStats struct {
+	Epoch      int           `json:"epoch"`        // the new serving epoch
+	NewlyDead  int           `json:"newlyDead"`    // channels the failure killed
+	VLBDirty   int           `json:"vlbDirty"`     // pairs the store recompile refiltered
+	DirtyPairs int           `json:"dirtyPairs"`   // rows the table delta re-emitted
+	StoreBuild time.Duration `json:"storeBuildNS"` // incremental store recompile time
+	TableBuild time.Duration `json:"tableBuildNS"` // dirty-row re-emit time
+}
+
+// Fail applies one failure to the service's cumulative mask via
+// apply (any combination of topo.FailureMask Fail* calls), then
+// recompiles the store incrementally, re-emits the dirtied table
+// rows, and swaps the new epoch in. A failure that kills nothing new
+// (already-dead link) is a no-op and swaps nothing. Concurrent
+// lookups are never blocked: they serve the previous epoch until the
+// single atomic store below, and their own epoch stays intact after
+// it.
+func (s *Service) Fail(apply func(*topo.FailureMask) ([]topo.Channel, error)) (SwapStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mask == nil {
+		s.mask = topo.NewFailureMask(s.cur.Load().T)
+	}
+	delta, err := apply(s.mask)
+	if err != nil {
+		return SwapStats{}, fmt.Errorf("route: fail: %w", err)
+	}
+	if len(delta) == 0 {
+		return SwapStats{Epoch: s.cur.Load().Epoch()}, nil
+	}
+	newStore, rstats := s.store.ApplyFailures(s.mask, delta)
+	newTb, dstats, err := s.cur.Load().ApplyDelta(newStore, delta, rstats.Pairs)
+	if err != nil {
+		return SwapStats{}, err
+	}
+	s.store = newStore
+	s.cur.Store(newTb)
+	s.swaps.Add(1)
+	return SwapStats{
+		Epoch:      newTb.Epoch(),
+		NewlyDead:  len(delta),
+		VLBDirty:   rstats.DirtyPairs,
+		DirtyPairs: dstats.DirtyPairs,
+		StoreBuild: rstats.BuildTime,
+		TableBuild: dstats.BuildTime,
+	}, nil
+}
+
+// FailGlobalLink fails the global link at global port gp of switch
+// sw and swaps in the recompiled epoch.
+func (s *Service) FailGlobalLink(sw, gp int) (SwapStats, error) {
+	return s.Fail(func(m *topo.FailureMask) ([]topo.Channel, error) {
+		return m.FailGlobalLink(sw, gp)
+	})
+}
+
+// FailLocalLink fails the local link between u and v and swaps in
+// the recompiled epoch.
+func (s *Service) FailLocalLink(u, v int) (SwapStats, error) {
+	return s.Fail(func(m *topo.FailureMask) ([]topo.Channel, error) {
+		return m.FailLocalLink(u, v)
+	})
+}
+
+// FailSwitch fails a whole switch and swaps in the recompiled epoch.
+func (s *Service) FailSwitch(sw int) (SwapStats, error) {
+	return s.Fail(func(m *topo.FailureMask) ([]topo.Channel, error) {
+		return m.FailSwitch(sw)
+	})
+}
+
+// Counters reports lifetime serving counters: lookups served,
+// batches served, epochs swapped in.
+func (s *Service) Counters() (served, batches, swaps int64) {
+	return s.served.Load(), s.batches.Load(), s.swaps.Load()
+}

@@ -257,6 +257,19 @@ func appendHops(route []netsim.RouteHop, t *topo.Compiled, numVCs int,
 	return route
 }
 
+// AppendVCHops extends route with p's hops, assigning virtual
+// channels exactly as SourceRoute does for a source-decided packet
+// (no hops taken yet) under the given scheme and VC budget. srcBudget
+// is the number of local classes reserved for the source-group phase:
+// 1 for every UGAL-family scheme, 2 for PAR. It exists for layers
+// that precompile routing decisions — the forwarding-table emitter in
+// internal/route compiles every candidate path through it, so emitted
+// tables carry bit-identical VC assignments to live routing.
+func AppendVCHops(route []netsim.RouteHop, t *topo.Compiled, numVCs int,
+	scheme VCScheme, srcBudget int, p paths.Path) []netsim.RouteHop {
+	return appendHops(route, t, numVCs, scheme, srcBudget, p, 0, 0, 0)
+}
+
 // creditCost is UGAL-L's path-delay estimate: source-local downstream
 // occupancy of the path's first channel times the path hop count.
 func creditCost(n *netsim.Network, p paths.Path) int {
@@ -317,14 +330,17 @@ func (u *UGAL) SourceRoute(n *netsim.Network, r *rng.Source, f *Flit) {
 	}
 	minOK := paths.SampleMinAliveInto(t, u.Fail, r, s, d, &u.minBuf)
 	useMin := minOK
+	vlbOK := false
 	switch u.Mode {
 	case MinOnly:
 	case VLBOnly:
-		if u.sampleVLB(r, s, d) {
+		vlbOK = u.sampleVLB(r, s, d)
+		if vlbOK {
 			useMin = false
 		}
 	default:
-		if u.sampleVLB(r, s, d) {
+		vlbOK = u.sampleVLB(r, s, d)
+		if vlbOK {
 			if !minOK {
 				useMin = false
 			} else {
@@ -344,9 +360,11 @@ func (u *UGAL) SourceRoute(n *netsim.Network, r *rng.Source, f *Flit) {
 			}
 		}
 	}
-	if useMin && !minOK {
+	if (useMin && !minOK) || (!useMin && !vlbOK) {
 		// No surviving candidate in the modes allowed to serve this
-		// packet: refuse it (empty-route sentinel).
+		// packet: refuse it (empty-route sentinel). The second clause
+		// covers pairs where both samplers came up empty — without it
+		// the route would be built from the stale VLB buffer.
 		f.Route = f.Route[:0]
 		return
 	}

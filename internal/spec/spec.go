@@ -260,6 +260,19 @@ func Failures(t *topo.Compiled, s string) (*topo.FailureMask, error) {
 		return nil, nil
 	}
 	m := topo.NewFailureMask(t)
+	if _, err := ApplyFailures(m, s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ApplyFailures applies a failure spec (same grammar as Failures) to
+// an existing mask, returning the newly dead channels — the delta
+// form incremental recompilation (paths.Store.ApplyFailures,
+// route.Service.Fail) consumes. Already-dead items contribute nothing
+// to the delta.
+func ApplyFailures(m *topo.FailureMask, s string) ([]topo.Channel, error) {
+	var delta []topo.Channel
 	for _, item := range strings.Split(s, ",") {
 		parts := strings.Split(strings.TrimSpace(item), ":")
 		atoi := func(i int) (int, error) {
@@ -269,6 +282,7 @@ func Failures(t *topo.Compiled, s string) (*topo.FailureMask, error) {
 			}
 			return v, nil
 		}
+		var chs []topo.Channel
 		var err error
 		switch {
 		case parts[0] == "global" && len(parts) == 3:
@@ -279,7 +293,7 @@ func Failures(t *topo.Compiled, s string) (*topo.FailureMask, error) {
 			if gp, err = atoi(2); err != nil {
 				return nil, err
 			}
-			_, err = m.FailGlobalLink(sw, gp)
+			chs, err = m.FailGlobalLink(sw, gp)
 		case parts[0] == "local" && len(parts) == 3:
 			var u, v int
 			if u, err = atoi(1); err != nil {
@@ -288,21 +302,22 @@ func Failures(t *topo.Compiled, s string) (*topo.FailureMask, error) {
 			if v, err = atoi(2); err != nil {
 				return nil, err
 			}
-			_, err = m.FailLocalLink(u, v)
+			chs, err = m.FailLocalLink(u, v)
 		case parts[0] == "switch" && len(parts) == 2:
 			var sw int
 			if sw, err = atoi(1); err != nil {
 				return nil, err
 			}
-			_, err = m.FailSwitch(sw)
+			chs, err = m.FailSwitch(sw)
 		default:
 			return nil, fmt.Errorf("spec: failure %q, want global:<sw>:<gp>, local:<u>:<v> or switch:<sw>", item)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("spec: failure %q: %w", item, err)
 		}
+		delta = append(delta, chs...)
 	}
-	return m, nil
+	return delta, nil
 }
 
 // Routing builds a routing function from its spec name, returning it

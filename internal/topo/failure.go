@@ -12,6 +12,12 @@ type Channel struct {
 	Port int8
 }
 
+// String renders the channel as sw<id>:p<port> for failure-delta
+// logs and swap-stats output.
+func (ch Channel) String() string {
+	return fmt.Sprintf("sw%d:p%d", ch.Sw, ch.Port)
+}
+
 // FailureMask records failed global links, local links, and whole
 // switches of one topology. It is built by a sequence of Fail* calls
 // and is strictly read-only afterwards: the sharing contract with the
@@ -198,6 +204,10 @@ func (m *FailureMask) DeadChannels() []Channel {
 func (m *FailureMask) Counts() (globals, locals, switches int) {
 	return m.nGlobal, m.nLocal, m.nSwitches
 }
+
+// NumDeadChannels reports how many directed channels the mask has
+// killed — the cumulative size of every failure delta so far.
+func (m *FailureMask) NumDeadChannels() int { return len(m.chans) }
 
 // String summarizes the mask for experiment output.
 func (m *FailureMask) String() string {
